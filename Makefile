@@ -1,0 +1,27 @@
+# Convenience targets for the reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples report clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "=== $$ex ==="; \
+		$(PYTHON) $$ex || exit 1; \
+	done
+
+report:
+	$(PYTHON) -m repro report -o evaluation_report.md
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,225 @@
+"""Ablations of the paper's individual design choices.
+
+The paper motivates four mechanisms separately; this benchmark isolates
+each one on a fixed workload so their individual contribution is
+visible (DESIGN.md's ablation index):
+
+* **aggregation threshold δ** (Section IV-A) — smaller δ flushes more
+  often: more messages, lower buffer high-water mark; the paper's
+  linear-memory claim is the δ ∈ O(|E_i|) row.
+* **surrogate filter** (Section IV-D) — removing it re-sends
+  neighborhoods and inflates volume.
+* **degree exchange flavour** (Section IV-D) — sparse vs dense
+  all-to-all for the ghost-degree exchange.
+* **indirect delivery** (Section IV-B) — message-count reduction on a
+  hub-heavy workload as p grows.
+* **load rebalancing** (Section IV-D) — Arifuzzaman-style prefix-sum
+  redistribution improves the estimated imbalance, yet the realized
+  makespan gain is marginal next to the migration bill — the paper's
+  "does not pay off".
+"""
+
+from conftest import run_once, save_artifact
+
+from repro.analysis.runner import run_algorithm
+from repro.analysis.tables import format_table
+from repro.graphs import generators as gen
+from repro.graphs.distributed import distribute
+
+P = 16
+
+
+def _graph():
+    return gen.rhg(P * 1024, avg_degree=32, gamma=2.8, seed=9)
+
+
+def test_ablation_threshold(benchmark, results_dir):
+    def sweep():
+        g = _graph()
+        dist = distribute(g, num_pes=P)
+        rows = []
+        for factor in (0.05, 0.25, 1.0, 4.0):
+            r = run_algorithm(
+                dist, "ditric", config_overrides={"threshold_factor": factor}
+            )
+            rows.append(
+                {
+                    "threshold factor": factor,
+                    "max messages": r.max_messages,
+                    "peak buffer words": r.peak_buffer_words,
+                    "time": r.time,
+                    "triangles": r.triangles,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    text = format_table(
+        rows,
+        ["threshold factor", "max messages", "peak buffer words", "time", "triangles"],
+        title="Ablation: aggregation threshold delta (DITRIC, RHG, p=16)",
+    )
+    save_artifact(results_dir, "ablation_threshold.txt", text)
+    assert len({r["triangles"] for r in rows}) == 1
+    # Bigger delta => fewer messages but more buffered memory.
+    msgs = [r["max messages"] for r in rows]
+    bufs = [r["peak buffer words"] for r in rows]
+    assert msgs[0] >= msgs[-1]
+    assert bufs[0] <= bufs[-1]
+
+
+def test_ablation_surrogate(benchmark, results_dir):
+    def sweep():
+        g = _graph()
+        dist = distribute(g, num_pes=P)
+        rows = []
+        for surrogate in (True, False):
+            r = run_algorithm(
+                dist, "ditric", config_overrides={"surrogate": surrogate}
+            )
+            rows.append(
+                {
+                    "surrogate": surrogate,
+                    "total volume": r.total_volume,
+                    "time": r.time,
+                    "triangles": r.triangles,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    text = format_table(
+        rows,
+        ["surrogate", "total volume", "time", "triangles"],
+        title="Ablation: Arifuzzaman surrogate send-dedup (DITRIC, RHG, p=16)",
+    )
+    save_artifact(results_dir, "ablation_surrogate.txt", text)
+    with_s, without_s = rows
+    assert with_s["triangles"] == without_s["triangles"]
+    assert with_s["total volume"] < without_s["total volume"]
+
+
+def test_ablation_degree_exchange(benchmark, results_dir):
+    def sweep():
+        rows = []
+        for name, g in (
+            ("rgg2d (local, few partners)", gen.rgg2d(P * 1024, expected_edges=16 * P * 1024, seed=9)),
+            ("rhg (skewed)", _graph()),
+        ):
+            dist = distribute(g, num_pes=P)
+            for mode in ("dense", "sparse"):
+                r = run_algorithm(
+                    dist, "ditric", config_overrides={"degree_exchange": mode}
+                )
+                rows.append(
+                    {
+                        "input": name,
+                        "mode": mode,
+                        "preprocessing time": r.phases["preprocessing"],
+                        "total messages": r.total_messages,
+                        "triangles": r.triangles,
+                    }
+                )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    text = format_table(
+        rows,
+        ["input", "mode", "preprocessing time", "total messages", "triangles"],
+        title="Ablation: dense vs sparse ghost-degree exchange (DITRIC, p=16)",
+    )
+    save_artifact(results_dir, "ablation_degree_exchange.txt", text)
+    # On the low-partner-count input the sparse exchange sends fewer
+    # messages (the Hoefler–Traff motivation).
+    rgg = [r for r in rows if r["input"].startswith("rgg2d")]
+    dense, sparse = rgg
+    assert sparse["total messages"] < dense["total messages"]
+
+
+def test_ablation_rebalancing(benchmark, results_dir):
+    def sweep():
+        from repro.graphs import partition_by_vertices, rebalance
+        from repro.graphs.distributed import distribute as dist_fn
+
+        rows = []
+        for name, g in (
+            ("rmat (skewed)", gen.rmat(12, 16, seed=9)),
+            ("rgg2d (uniform)", gen.rgg2d(4096, expected_edges=16 * 4096, seed=9)),
+        ):
+            naive = partition_by_vertices(g.num_vertices, P)
+            reb = rebalance(g, naive, cost="outdeg_sum")
+            before = run_algorithm(dist_fn(g, partition=naive), "ditric")
+            after = run_algorithm(dist_fn(g, partition=reb.partition), "ditric")
+            rows.append(
+                {
+                    "input": name,
+                    "est. imbalance before": reb.imbalance_before,
+                    "est. imbalance after": reb.imbalance_after,
+                    "moved vertices": reb.moved_vertices,
+                    "migration words": reb.migration_words,
+                    "time before": before.time,
+                    "time after": after.time,
+                    "triangles": after.triangles,
+                }
+            )
+            assert before.triangles == after.triangles
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    text = format_table(
+        rows,
+        [
+            "input",
+            "est. imbalance before",
+            "est. imbalance after",
+            "moved vertices",
+            "migration words",
+            "time before",
+            "time after",
+        ],
+        title="Ablation: prefix-sum load rebalancing (DITRIC, p=16) — "
+        "the paper's 'overhead does not pay off'",
+    )
+    save_artifact(results_dir, "ablation_rebalancing.txt", text)
+    for r in rows:
+        assert r["est. imbalance after"] <= r["est. imbalance before"] + 1e-9
+        gain = r["time before"] - r["time after"]
+        assert gain < 0.15 * r["time before"]  # marginal at best
+        assert r["migration words"] >= 0
+
+
+def test_ablation_indirection_crossover(benchmark, results_dir):
+    def sweep():
+        rows = []
+        for p in (4, 16, 36, 64):
+            g = gen.rhg(p * 512, avg_degree=32, gamma=2.8, seed=9)
+            dist = distribute(g, num_pes=p)
+            direct = run_algorithm(dist, "ditric")
+            indirect = run_algorithm(dist, "ditric2")
+            assert direct.triangles == indirect.triangles
+            rows.append(
+                {
+                    "p": p,
+                    "direct max msgs": direct.max_messages,
+                    "indirect max msgs": indirect.max_messages,
+                    "direct volume": direct.total_volume,
+                    "indirect volume": indirect.total_volume,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    text = format_table(
+        rows,
+        ["p", "direct max msgs", "indirect max msgs", "direct volume", "indirect volume"],
+        title="Ablation: grid indirection vs direct delivery across p (DITRIC, RHG weak scaling)",
+    )
+    save_artifact(results_dir, "ablation_indirection.txt", text)
+    # Indirection at most doubles volume (plus routing headers) ...
+    for r in rows:
+        assert r["indirect volume"] < 2.5 * r["direct volume"]
+    # ... and its message advantage grows with machine size: the ratio
+    # direct/indirect max-messages improves from small to large p.
+    first = rows[0]["direct max msgs"] / rows[0]["indirect max msgs"]
+    last = rows[-1]["direct max msgs"] / rows[-1]["indirect max msgs"]
+    assert last > first

@@ -1,0 +1,80 @@
+"""Fig. 8 — hybrid (threads x MPI ranks) DITRIC² on orkut.
+
+Fixed core count, threads swept with ``cores = threads x ranks``.
+Reported series, as in the paper's appendix: local-phase time, total
+time, and communication volume.
+
+Asserted shapes:
+
+* local phase accelerates with threads, but sublinearly (<= ~1.67x at
+  12 threads);
+* communication volume drops steeply with threads (fewer ranks =>
+  fewer cut edges; up to 84 % in the paper);
+* the funneled-communication global phase erases the local gains: the
+  hybrid variants are not faster overall than plain MPI.
+"""
+
+from conftest import run_once, save_artifact
+
+from repro.analysis.tables import format_table
+from repro.core.hybrid import run_hybrid, thread_speedup
+from repro.graphs.datasets import dataset
+
+CORES = 16
+THREADS = (1, 2, 4, 8)
+
+
+def _sweep():
+    g = dataset("orkut", scale=1.0)
+    return {t: run_hybrid(g, CORES, t) for t in THREADS}
+
+
+def test_fig8_hybrid_parallelism(benchmark, results_dir):
+    results = run_once(benchmark, _sweep)
+    rows = [
+        {
+            "threads": t,
+            "ranks": r.ranks,
+            "local time": r.local_time,
+            "global time": r.global_time,
+            "total time": r.total_time,
+            "total volume": r.total_volume,
+            "model speedup S(t)": thread_speedup(t),
+        }
+        for t, r in results.items()
+    ]
+    text = format_table(
+        rows,
+        [
+            "threads",
+            "ranks",
+            "local time",
+            "global time",
+            "total time",
+            "total volume",
+            "model speedup S(t)",
+        ],
+        title=f"Fig. 8: hybrid DITRIC2 on orkut stand-in, {CORES} cores "
+        "(threads x ranks = cores)",
+    )
+    save_artifact(results_dir, "fig8_hybrid.txt", text)
+
+    r1 = results[1]
+    # All configurations count the same triangles.
+    assert len({r.triangles for r in results.values()}) == 1
+    # Communication volume falls monotonically with the thread count.
+    vols = [results[t].total_volume for t in THREADS]
+    assert all(b < a for a, b in zip(vols, vols[1:]))
+    # Paper: up to 84 % volume reduction; at ranks 16 -> 2 we demand >= 50 %.
+    assert results[8].total_volume < 0.5 * r1.total_volume
+    # Local-phase speedup exists but is bounded by the paper's ceiling:
+    # compare against the *unthreaded* run at the same rank count.
+    from repro.core.hybrid import run_hybrid as _rh
+
+    g = dataset("orkut", scale=1.0)
+    for t in THREADS[1:]:
+        flat_same_ranks = _rh(g, CORES // t, 1)
+        assert results[t].local_time < flat_same_ranks.local_time
+        assert results[t].local_time > flat_same_ranks.local_time / 2.0
+    # The funneled global phase keeps hybrid from winning overall.
+    assert min(results, key=lambda t: results[t].total_time) == 1

@@ -1,0 +1,89 @@
+"""Kernel microbenchmarks — real wall-time measurements.
+
+Unlike the figure benchmarks (which report *modelled* times from the
+simulation), these measure actual NumPy kernel throughput: the batch
+intersection engine, the orientation filter and the sequential
+counter.  They exist to catch performance regressions in the
+vectorized hot paths the HPC-Python guides call out.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.edge_iterator import edge_iterator, matrix_count
+from repro.core.intersect import batch_intersect_count, concat_xadj, gather_blocks
+from repro.core.orientation import orient_by_degree
+from repro.graphs import generators as gen
+
+
+@pytest.fixture(scope="module")
+def medium_graph():
+    return gen.rmat(13, 16, seed=1)
+
+
+@pytest.fixture(scope="module")
+def intersection_batch(medium_graph):
+    og = orient_by_degree(medium_graph)
+    src = np.repeat(og.vertices(), og.degrees)
+    a_cat, a_x = gather_blocks(og.xadj, og.adjncy, og.adjncy)
+    b_cat, b_x = gather_blocks(og.xadj, og.adjncy, src)
+    return a_cat, a_x, b_cat, b_x, og.num_vertices
+
+
+def test_bench_batch_intersection(benchmark, intersection_batch):
+    a_cat, a_x, b_cat, b_x, n = intersection_batch
+    result = benchmark(batch_intersect_count, a_cat, a_x, b_cat, b_x, n)
+    assert result.total > 0
+
+
+def test_bench_orientation(benchmark, medium_graph):
+    og = benchmark(orient_by_degree, medium_graph)
+    assert og.num_arcs == medium_graph.num_edges
+
+
+def test_bench_sequential_count(benchmark, medium_graph):
+    res = benchmark(edge_iterator, medium_graph)
+    assert res.triangles == matrix_count(medium_graph)
+
+
+def test_bench_gather_blocks(benchmark, medium_graph):
+    og = orient_by_degree(medium_graph)
+    ids = np.arange(og.num_vertices, dtype=np.int64)
+    cat, xadj = benchmark(gather_blocks, og.xadj, og.adjncy, ids)
+    assert cat.size == og.num_arcs
+
+
+def test_bench_rmat_generation(benchmark):
+    g = benchmark.pedantic(
+        lambda: gen.rmat(12, 16, seed=9), rounds=3, iterations=1
+    )
+    assert g.num_vertices == 4096
+
+
+def test_bench_rgg_generation(benchmark):
+    g = benchmark.pedantic(
+        lambda: gen.rgg2d(1 << 12, expected_edges=16 << 12, seed=9),
+        rounds=3,
+        iterations=1,
+    )
+    assert g.num_vertices == 4096
+
+
+def test_bench_rhg_generation(benchmark):
+    g = benchmark.pedantic(
+        lambda: gen.rhg(1 << 12, avg_degree=32, seed=9), rounds=3, iterations=1
+    )
+    assert g.num_vertices == 4096
+
+
+def test_bench_bloom_filter(benchmark):
+    from repro.amq import BloomFilter
+
+    keys = np.arange(1 << 14, dtype=np.int64)
+
+    def build_and_query():
+        f = BloomFilter.for_elements(keys.size, bits_per_element=8, seed=1)
+        f.add(keys)
+        return int(np.count_nonzero(f.query(keys)))
+
+    assert benchmark(build_and_query) == keys.size

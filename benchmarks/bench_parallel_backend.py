@@ -1,0 +1,71 @@
+"""Backend comparison: simulator vs. real process-parallel execution.
+
+Not a paper figure — an engineering benchmark for this repository's
+two execution backends.  It measures actual wall time of the same
+CETRIC program on the deterministic simulator (single process,
+round-robin) and on the process-parallel backend (one OS process per
+PE), and verifies the two agree on every application-level metric.
+
+The parallel backend's purpose is fidelity (real messages between
+real processes); at these graph sizes Python process startup dominates
+its wall time, so no speedup assertion is made — only agreement and
+sanity bounds.
+"""
+
+import time
+
+from conftest import run_once, save_artifact
+
+from repro.analysis.tables import format_table
+from repro.core.engine import EngineConfig, counting_program
+from repro.graphs import generators as gen
+from repro.graphs.distributed import distribute
+from repro.net import Machine, ProcessMachine
+
+P = 4
+
+
+def _experiment():
+    g = gen.rhg(1 << 13, avg_degree=32, gamma=2.8, seed=3)
+    dist = distribute(g, num_pes=P)
+    cfg = EngineConfig(contraction=True)
+    rows = []
+    outcomes = {}
+    for name, machine in (("simulator", Machine(P)), ("processes", ProcessMachine(P))):
+        t0 = time.perf_counter()
+        res = machine.run(counting_program, dist, cfg)
+        wall = time.perf_counter() - t0
+        outcomes[name] = res
+        rows.append(
+            {
+                "backend": name,
+                "wall time [s]": wall,
+                "modelled time [s]": res.metrics.makespan,
+                "triangles": res.values[0].triangles_total,
+                "total volume": res.metrics.total_volume,
+                "total messages": res.metrics.total_messages,
+            }
+        )
+    return rows, outcomes
+
+
+def test_backend_agreement(benchmark, results_dir):
+    rows, outcomes = run_once(benchmark, _experiment)
+    text = format_table(
+        rows,
+        [
+            "backend",
+            "wall time [s]",
+            "modelled time [s]",
+            "triangles",
+            "total volume",
+            "total messages",
+        ],
+        title=f"Backends: simulated vs process-parallel CETRIC (RHG n=8192, p={P})",
+    )
+    save_artifact(results_dir, "backend_comparison.txt", text)
+    sim, par = outcomes["simulator"], outcomes["processes"]
+    assert sim.values[0].triangles_total == par.values[0].triangles_total
+    assert sim.metrics.total_volume == par.metrics.total_volume
+    assert sim.metrics.total_messages == par.metrics.total_messages
+    assert sim.metrics.total_ops == par.metrics.total_ops

@@ -1,0 +1,41 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one paper artifact (table or figure) and
+
+* prints the rows/series in the paper's layout,
+* saves them under ``benchmarks/results/`` for EXPERIMENTS.md,
+* asserts the qualitative *shape* the paper reports (who wins, where
+  crossovers fall) so regressions in the algorithms show up as
+  benchmark failures.
+
+Heavy experiment bodies run exactly once via ``benchmark.pedantic``
+(``rounds=1``) — the interesting measurements are the *modelled* times
+inside the simulation, not Python wall time.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory collecting the regenerated paper artifacts."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_artifact(results_dir: Path, name: str, text: str) -> None:
+    """Print and persist one regenerated table/figure."""
+    print()
+    print(text)
+    (results_dir / name).write_text(text + "\n")
+
+
+def run_once(benchmark, func):
+    """Run an experiment body exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,66 @@
+"""Local clustering coefficients for social-network analysis.
+
+The paper's introduction motivates per-vertex triangle counts with
+Becchetti et al.'s observation that the *distribution* of local
+clustering coefficients separates organic accounts from spam/bot-like
+vertices: spam vertices accumulate many neighbors that do not know
+each other (high degree, low LCC).
+
+This example builds a social-network stand-in, plants a handful of
+"spam" vertices (random high-degree attachments), computes exact LCC
+with the distributed CETRIC-based algorithm (Section IV-E), and shows
+that a simple degree-vs-LCC rule recovers the planted vertices.
+
+Run with::
+
+    python examples/social_network_analysis.py
+"""
+
+import numpy as np
+
+from repro import local_clustering_coefficients
+from repro.graphs import from_edges, generators
+
+
+def plant_spammers(graph, num_spammers: int, degree: int, seed: int):
+    """Attach ``num_spammers`` new vertices to random targets each."""
+    rng = np.random.default_rng(seed)
+    n = graph.num_vertices
+    extra = []
+    for k in range(num_spammers):
+        spammer = n + k
+        targets = rng.choice(n, size=degree, replace=False)
+        extra.extend((spammer, int(t)) for t in targets)
+    edges = np.concatenate([graph.undirected_edges(), np.array(extra, dtype=np.int64)])
+    return from_edges(edges, num_vertices=n + num_spammers, name="social+spam"), list(
+        range(n, n + num_spammers)
+    )
+
+
+def main() -> None:
+    base = generators.rhg(1 << 12, avg_degree=24, gamma=2.8, seed=7)
+    graph, spammers = plant_spammers(base, num_spammers=8, degree=120, seed=11)
+    print(f"graph: n={graph.num_vertices:,}, m={graph.num_edges:,}, planted spammers={len(spammers)}")
+
+    lcc = local_clustering_coefficients(graph, num_pes=8)
+    degrees = graph.degrees
+
+    print(f"\nmean LCC    : {lcc.mean():.4f}")
+    print(f"median LCC  : {np.median(lcc):.4f}")
+
+    # Spam heuristic: high degree, anomalously low LCC.
+    candidates = np.flatnonzero((degrees >= 100) & (lcc < 0.02))
+    found = sorted(set(candidates.tolist()) & set(spammers))
+    print(f"\nflagged {candidates.size} suspicious vertices; "
+          f"{len(found)}/{len(spammers)} planted spammers recovered")
+    print("degree / LCC of planted spammers:")
+    for s in spammers:
+        marker = "  <- flagged" if s in candidates else ""
+        print(f"  vertex {s:6d}: degree {degrees[s]:4d}, LCC {lcc[s]:.4f}{marker}")
+
+    assert len(found) >= len(spammers) - 1, "LCC analysis should recover the spammers"
+    print("\nLCC-based spam detection works ✓")
+
+
+if __name__ == "__main__":
+    main()

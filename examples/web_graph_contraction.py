@@ -1,0 +1,82 @@
+"""Locality and contraction: why CETRIC wins on web graphs.
+
+Web crawls assign nearby ids to pages of the same site, so a 1D
+ID-partition cuts few edges.  CETRIC exploits this (Section IV-C):
+after counting all type-1/type-2 triangles locally it contracts the
+graph to its cut edges, making the global phase's communication volume
+proportional to the cut rather than the whole neighborhood volume.
+
+This example quantifies the effect on a webbase-2001 stand-in and on
+the same graph with its ids randomly shuffled (destroying locality),
+reproducing the paper's webbase-vs-friendster contrast in a single
+controlled experiment.
+
+Run with::
+
+    python examples/web_graph_contraction.py
+"""
+
+import numpy as np
+
+from repro.analysis.runner import run_algorithm
+from repro.analysis.tables import format_table
+from repro.graphs import dataset, distribute, relabel
+
+
+def measure(graph, label, num_pes=16):
+    dist = distribute(graph, num_pes=num_pes)
+    cut_fraction = dist.total_cut_edges() / graph.num_edges
+    dit = run_algorithm(dist, "ditric")
+    cet = run_algorithm(dist, "cetric")
+    assert dit.triangles == cet.triangles
+    return {
+        "input": label,
+        "cut fraction": cut_fraction,
+        "ditric volume": dit.bottleneck_volume,
+        "cetric volume": cet.bottleneck_volume,
+        "volume reduction": dit.bottleneck_volume / max(cet.bottleneck_volume, 1),
+        "ditric global [s]": dit.phases["global"],
+        "cetric global [s]": cet.phases["global"],
+    }
+
+
+def main() -> None:
+    web = dataset("webbase-2001", scale=1.0)
+    rng = np.random.default_rng(3)
+    shuffled = relabel(web, rng.permutation(web.num_vertices))
+    shuffled.name = "webbase-2001 (ids shuffled)"
+
+    rows = [
+        measure(web, "webbase-2001 (crawl order)"),
+        measure(shuffled, "webbase-2001 (ids shuffled)"),
+    ]
+    print(
+        format_table(
+            rows,
+            [
+                "input",
+                "cut fraction",
+                "ditric volume",
+                "cetric volume",
+                "volume reduction",
+                "ditric global [s]",
+                "cetric global [s]",
+            ],
+            title="contraction pays where the partition has locality (p=16)",
+        )
+    )
+
+    local, nonlocal_ = rows
+    assert local["cut fraction"] < nonlocal_["cut fraction"]
+    assert local["volume reduction"] > nonlocal_["volume reduction"]
+    print(
+        "\ncrawl-ordered ids: cut fraction "
+        f"{local['cut fraction']:.2%}, contraction saves "
+        f"{local['volume reduction']:.1f}x volume; after shuffling: cut "
+        f"{nonlocal_['cut fraction']:.2%}, savings drop to "
+        f"{nonlocal_['volume reduction']:.1f}x ✓"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""repro — reproduction of Sanders & Uhl, "Engineering a Distributed-Memory
+Triangle Counting Algorithm" (IPDPS 2023).
+
+The package implements the paper's algorithms (DITRIC, CETRIC and their
+grid-indirection variants, plus the LCC and AMQ-approximation
+extensions), the baselines it compares against (TriC-like,
+HavoqGT-like, shared-memory edge iterators), the KaGen-equivalent graph
+generators it evaluates on, and a simulated distributed-memory machine
+with the paper's own alpha-beta communication cost model.
+
+Quickstart
+----------
+>>> from repro import count_triangles, generators
+>>> g = generators.rgg2d(1 << 12, expected_edges=16 << 12, seed=1)
+>>> result = count_triangles(g, algorithm="cetric", num_pes=8)
+>>> result.triangles == count_triangles(g, algorithm="sequential").triangles
+True
+"""
+
+from . import graphs
+from .graphs import generators
+from .version import __version__
+
+# High-level facade (populated by repro.api; imported late to avoid cycles).
+from .api import count_triangles, local_clustering_coefficients  # noqa: E402
+
+__all__ = [
+    "graphs",
+    "generators",
+    "count_triangles",
+    "local_clustering_coefficients",
+    "__version__",
+]

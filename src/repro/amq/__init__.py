@@ -1,0 +1,24 @@
+"""Approximate-membership-query structures for the approximate global phase.
+
+* :class:`~repro.amq.bloom.BloomFilter` — the "typical implementation"
+  the paper names;
+* :class:`~repro.amq.ssbf.SingleShotBloomFilter` — the compressed
+  single-shot variant of footnote 2, with Rice-coded wire size;
+* :mod:`~repro.amq.hashing` — vectorized hash families.
+"""
+
+from .bloom import BloomFilter, false_positive_rate, optimal_num_hashes
+from .hashing import hash_family, hash_to_range, mix64
+from .ssbf import SingleShotBloomFilter, optimal_rice_parameter, rice_encoded_bits
+
+__all__ = [
+    "BloomFilter",
+    "false_positive_rate",
+    "optimal_num_hashes",
+    "hash_family",
+    "hash_to_range",
+    "mix64",
+    "SingleShotBloomFilter",
+    "optimal_rice_parameter",
+    "rice_encoded_bits",
+]

@@ -1,0 +1,48 @@
+"""Experiment harness: run, sweep, tabulate, plot, verify."""
+
+from .plot import ascii_plot, plot_results
+from .projection import (
+    PowerLaw,
+    ScalingModel,
+    fit_power_law,
+    fit_scaling_model,
+    project_time,
+)
+from .runner import ALGORITHMS, RunResult, memory_limited_spec, run_algorithm
+from .sweep import pe_counts_powers_of_two, strong_scaling, weak_scaling
+from .triangle_types import TriangleTypeCounts, classify_triangles
+from .tables import (
+    format_phase_breakdown,
+    format_scaling_table,
+    format_table,
+    scaling_series,
+    speedup_over,
+)
+from .verify import GraphStats, graph_stats, ground_truth_triangles
+
+__all__ = [
+    "ascii_plot",
+    "plot_results",
+    "PowerLaw",
+    "ScalingModel",
+    "fit_power_law",
+    "fit_scaling_model",
+    "project_time",
+    "ALGORITHMS",
+    "RunResult",
+    "memory_limited_spec",
+    "run_algorithm",
+    "pe_counts_powers_of_two",
+    "strong_scaling",
+    "weak_scaling",
+    "format_phase_breakdown",
+    "format_scaling_table",
+    "format_table",
+    "scaling_series",
+    "speedup_over",
+    "GraphStats",
+    "graph_stats",
+    "ground_truth_triangles",
+    "TriangleTypeCounts",
+    "classify_triangles",
+]

@@ -1,0 +1,103 @@
+"""Terminal (ASCII) log-log plots of scaling series.
+
+The paper's figures are log-log scaling plots; this renderer draws the
+same series as text so benchmark output and the CLI can show the
+*shape* directly, without any plotting dependency.
+
+>>> print(ascii_plot({"ditric": [(1, 1.0), (2, 0.6), (4, 0.4)]}))
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+from .runner import RunResult
+from .tables import scaling_series
+
+__all__ = ["ascii_plot", "plot_results"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: Mapping[str, Sequence[tuple[float, float | None]]],
+    *,
+    width: int = 64,
+    height: int = 18,
+    title: str = "",
+    xlabel: str = "p",
+    ylabel: str = "",
+) -> str:
+    """Render named ``[(x, y), ...]`` series on a log-log text canvas.
+
+    ``None`` y-values (failed runs) are skipped, leaving visible gaps
+    like the paper's missing competitor points.  Series markers are
+    assigned in name order and listed in the legend.
+    """
+    points = {
+        name: [(x, y) for x, y in pts if y is not None and y > 0 and x > 0]
+        for name, pts in series.items()
+    }
+    all_pts = [p for pts in points.values() for p in pts]
+    if not all_pts:
+        return (title + "\n" if title else "") + "(no data)"
+    xs = [x for x, _ in all_pts]
+    ys = [y for _, y in all_pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_lo == x_hi:
+        x_hi = x_lo * 2
+    if y_lo == y_hi:
+        y_hi = y_lo * 2
+
+    def col(x: float) -> int:
+        f = (math.log10(x) - math.log10(x_lo)) / (math.log10(x_hi) - math.log10(x_lo))
+        return min(width - 1, max(0, round(f * (width - 1))))
+
+    def row(y: float) -> int:
+        f = (math.log10(y) - math.log10(y_lo)) / (math.log10(y_hi) - math.log10(y_lo))
+        return min(height - 1, max(0, round((1.0 - f) * (height - 1))))
+
+    canvas = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, name in enumerate(sorted(points)):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        legend.append(f"{marker} {name}")
+        for x, y in points[name]:
+            r, c = row(y), col(x)
+            canvas[r][c] = marker if canvas[r][c] == " " else "*"
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = f"{y_hi:.2e}"
+    y_bot = f"{y_lo:.2e}"
+    margin = max(len(y_top), len(y_bot))
+    for i, rowchars in enumerate(canvas):
+        if i == 0:
+            label = y_top.rjust(margin)
+        elif i == height - 1:
+            label = y_bot.rjust(margin)
+        else:
+            label = " " * margin
+        lines.append(f"{label} |{''.join(rowchars)}")
+    lines.append(" " * margin + " +" + "-" * width)
+    x_axis = f"{x_lo:g}".ljust(width - len(f"{x_hi:g}")) + f"{x_hi:g}"
+    lines.append(" " * margin + "  " + x_axis + f"   ({xlabel}, log-log"
+                 + (f", {ylabel}" if ylabel else "") + ")")
+    lines.append("   legend: " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def plot_results(
+    results: Iterable[RunResult], metric: str = "time", *, title: str = "", **kwargs
+) -> str:
+    """ASCII log-log plot of a sweep's per-algorithm ``metric`` vs p."""
+    series = scaling_series(results, metric)
+    return ascii_plot(
+        {k: [(float(p), v) for p, v in pts] for k, pts in series.items()},
+        title=title or f"{metric} vs p",
+        ylabel=metric,
+        **kwargs,
+    )

@@ -1,0 +1,128 @@
+"""Extrapolating modelled cost to the paper's machine sizes.
+
+The simulation runs at p ≤ ~64; the paper runs at p ≤ 2¹⁵.  Several of
+its headline effects (indirection dominating beyond ~2¹², TriC's α·p
+wall, the 2¹⁵ degree-exchange spike) live in the gap.  This module
+closes it *analytically*: from a weak-scaling sweep it fits per-PE
+power laws
+
+    messages(p) ~ a · p^b        volume(p) ~ a · p^b       work(p) ~ a · p^b
+
+for each algorithm (log-log least squares over the measured points)
+and projects modelled time at any target ``p`` with the same α-β model
+the simulation charges:
+
+    time(p) = work(p)·flop + alpha·messages(p) + beta·volume(p)
+
+The projection is exact when the underlying laws are exact power laws
+and is validated in-range against held-out simulated points; see
+``benchmarks/bench_projection.py`` for the at-scale reproduction of
+the paper's crossovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from ..net.costmodel import DEFAULT_SPEC, MachineSpec
+from .runner import RunResult
+
+__all__ = ["PowerLaw", "ScalingModel", "fit_power_law", "fit_scaling_model", "project_time"]
+
+
+@dataclass(frozen=True)
+class PowerLaw:
+    """``f(p) = coefficient * p ** exponent`` fitted in log-log space."""
+
+    coefficient: float
+    exponent: float
+
+    def __call__(self, p) -> np.ndarray:
+        return self.coefficient * np.asarray(p, dtype=np.float64) ** self.exponent
+
+
+def fit_power_law(ps: np.ndarray, values: np.ndarray) -> PowerLaw:
+    """Least-squares power-law fit through the *positive* points.
+
+    Zero points (e.g. "0 messages at p = 1" — communication simply
+    does not exist on one PE) are structural, not samples of the law,
+    so they are excluded rather than clamped; an all-zero series
+    yields the zero law.
+    """
+    ps = np.asarray(ps, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if ps.size == 0:
+        raise ValueError("need at least one point")
+    pos = values > 0
+    if not np.any(pos):
+        return PowerLaw(coefficient=0.0, exponent=0.0)
+    ps, values = ps[pos], values[pos]
+    if ps.size == 1 or np.allclose(ps, ps[0]):
+        return PowerLaw(coefficient=float(values.mean()), exponent=0.0)
+    slope, intercept = np.polyfit(np.log(ps), np.log(values), 1)
+    return PowerLaw(coefficient=float(np.exp(intercept)), exponent=float(slope))
+
+
+@dataclass(frozen=True)
+class ScalingModel:
+    """Fitted per-PE laws for one algorithm on one workload family.
+
+    All laws describe the *bottleneck PE* (max over PEs), matching the
+    paper's metrics: messages per PE, words per PE, charged operations
+    per PE, each as a function of the machine size under weak scaling.
+    """
+
+    algorithm: str
+    messages: PowerLaw
+    volume: PowerLaw
+    work: PowerLaw
+
+    def time(self, p, spec: MachineSpec = DEFAULT_SPEC) -> np.ndarray:
+        """Projected modelled time at machine size ``p``."""
+        p = np.asarray(p, dtype=np.float64)
+        return (
+            self.work(p) * spec.flop_time
+            + self.messages(p) * spec.alpha
+            + self.volume(p) * spec.beta
+        )
+
+
+def fit_scaling_model(results: Iterable[RunResult], algorithm: str) -> ScalingModel:
+    """Fit the three laws from a weak-scaling sweep's result rows.
+
+    Only successful rows of ``algorithm`` are used; per-PE work is the
+    total divided by p (weak scaling keeps it near-constant; the fit
+    captures any residual growth, e.g. CETRIC's ghost work).
+    """
+    rows = [r for r in results if r.algorithm == algorithm and r.ok]
+    if not rows:
+        raise ValueError(f"no successful rows for {algorithm!r}")
+    ps = np.array([r.num_pes for r in rows], dtype=np.float64)
+    msgs = np.array([r.max_messages for r in rows], dtype=np.float64)
+    vol = np.array([r.bottleneck_volume for r in rows], dtype=np.float64)
+    work = np.array([r.total_ops / max(r.num_pes, 1) for r in rows], dtype=np.float64)
+    return ScalingModel(
+        algorithm=algorithm,
+        messages=fit_power_law(ps, msgs),
+        volume=fit_power_law(ps, vol),
+        work=fit_power_law(ps, work),
+    )
+
+
+def project_time(
+    results: Iterable[RunResult],
+    algorithms: Iterable[str],
+    target_ps: Iterable[int],
+    *,
+    spec: MachineSpec = DEFAULT_SPEC,
+) -> dict[str, list[tuple[int, float]]]:
+    """Projected time series per algorithm at the target machine sizes."""
+    results = list(results)
+    out: dict[str, list[tuple[int, float]]] = {}
+    for algo in algorithms:
+        model = fit_scaling_model(results, algo)
+        out[algo] = [(int(p), float(model.time(p, spec))) for p in target_ps]
+    return out

@@ -1,0 +1,128 @@
+"""One-command evaluation report.
+
+``generate_report`` runs a configurable-size version of every
+experiment class (dataset statistics, aggregation, weak scaling,
+strong scaling, phase breakdown, approximation) and renders a single
+markdown document — the quick-look counterpart of the full benchmark
+suite, suitable for CI artifacts or a README refresh.
+
+The full-fidelity artifacts remain the benchmarks under
+``benchmarks/``; the report trades sweep breadth for a <2-minute
+runtime at the default settings.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from ..core.approx import doulion
+from ..core.edge_iterator import edge_iterator
+from ..graphs.datasets import DATASET_NAMES, dataset
+from ..graphs.distributed import distribute
+from ..net.costmodel import DEFAULT_SPEC, MachineSpec
+from .runner import run_algorithm
+from .tables import format_phase_breakdown, format_scaling_table, format_table
+from .triangle_types import classify_triangles
+from .verify import graph_stats
+
+__all__ = ["generate_report"]
+
+
+def _section(title: str, body: str) -> str:
+    return f"## {title}\n\n```\n{body}\n```\n"
+
+
+def generate_report(
+    *,
+    scale: float = 0.25,
+    pe_counts: Sequence[int] = (2, 4, 8),
+    algorithms: Sequence[str] = ("ditric", "ditric2", "cetric", "cetric2"),
+    datasets: Sequence[str] = ("friendster", "webbase-2001", "europe"),
+    spec: MachineSpec = DEFAULT_SPEC,
+) -> str:
+    """Render the quick evaluation report as a markdown string."""
+    started = time.perf_counter()
+    parts = [
+        "# repro quick evaluation report",
+        "",
+        f"- stand-in scale: {scale}",
+        f"- PE counts: {list(pe_counts)}",
+        f"- machine: {spec.name} (alpha={spec.alpha:.1e}s, beta={spec.beta:.1e}s/word)",
+        "",
+    ]
+
+    # 1. Dataset statistics (Table I flavour).
+    stat_rows = []
+    for name in datasets:
+        if name not in DATASET_NAMES:
+            raise KeyError(f"unknown dataset {name!r}")
+        s = graph_stats(dataset(name, scale=scale))
+        stat_rows.append(
+            {
+                "instance": name,
+                "n": s.n,
+                "m": s.m,
+                "wedges": s.wedges,
+                "triangles": s.triangles,
+                "transitivity": s.transitivity,
+            }
+        )
+    parts.append(
+        _section(
+            "Dataset stand-ins (Table I)",
+            format_table(
+                stat_rows,
+                ["instance", "n", "m", "wedges", "triangles", "transitivity"],
+            ),
+        )
+    )
+
+    # 2. Strong scaling + phases on each dataset.
+    for name in datasets:
+        g = dataset(name, scale=scale)
+        truth = edge_iterator(g).triangles
+        rows = []
+        for p in pe_counts:
+            dist = distribute(g, num_pes=p)
+            for algo in algorithms:
+                res = run_algorithm(dist, algo, spec=spec)
+                if res.ok and res.triangles != truth:
+                    raise AssertionError(f"{algo} miscounted on {name}")
+                rows.append(res)
+        parts.append(
+            _section(
+                f"Strong scaling on {name}",
+                format_scaling_table(rows, "time")
+                + "\n\n"
+                + format_scaling_table(rows, "bottleneck_volume"),
+            )
+        )
+        types = classify_triangles(g, num_pes=max(pe_counts))
+        parts.append(
+            f"*Triangle types at p={max(pe_counts)}*: "
+            f"type1={types.type1}, type2={types.type2}, type3={types.type3} "
+            f"(local fraction {types.local_fraction:.1%})\n"
+        )
+
+    # 3. Phase breakdown on the first dataset.
+    g = dataset(datasets[0], scale=scale)
+    dist = distribute(g, num_pes=max(pe_counts))
+    breakdown = [run_algorithm(dist, a, spec=spec) for a in ("ditric", "cetric")]
+    parts.append(
+        _section(
+            f"Phase breakdown on {datasets[0]} (p={max(pe_counts)})",
+            format_phase_breakdown(breakdown),
+        )
+    )
+
+    # 4. Approximation teaser.
+    truth = edge_iterator(g).triangles
+    d = doulion(g, 0.5, seed=1)
+    parts.append(
+        f"*Approximation sanity*: exact={truth}, doulion(q=0.5)={d.estimate:.0f} "
+        f"({abs(d.estimate - truth) / max(truth, 1):.2%} error)\n"
+    )
+
+    parts.append(f"---\ngenerated in {time.perf_counter() - started:.1f}s wall time\n")
+    return "\n".join(parts)

@@ -1,0 +1,93 @@
+"""Strong- and weak-scaling sweeps (the paper's experimental method).
+
+Section V-B: *strong scaling* fixes one input and grows ``p``; *weak
+scaling* fixes the problem size **per PE** (``n/p`` vertices) and grows
+the machine.  Both return lists of
+:class:`~repro.analysis.runner.RunResult` rows ready for the table
+renderers, with competitor failures kept as failed rows (the paper's
+missing data points).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..graphs.csr import CSRGraph
+from ..graphs.distributed import distribute
+from ..net.costmodel import DEFAULT_SPEC, MachineSpec
+from .runner import RunResult, memory_limited_spec, run_algorithm
+
+__all__ = ["strong_scaling", "weak_scaling", "pe_counts_powers_of_two"]
+
+
+def pe_counts_powers_of_two(max_pes: int, *, start: int = 1) -> list[int]:
+    """``[start, 2 start, ...] <= max_pes`` — the paper uses powers of two."""
+    if start < 1 or max_pes < start:
+        raise ValueError("need 1 <= start <= max_pes")
+    out = []
+    p = start
+    while p <= max_pes:
+        out.append(p)
+        p *= 2
+    return out
+
+
+def strong_scaling(
+    graph: CSRGraph,
+    algorithms: Iterable[str],
+    pe_counts: Iterable[int],
+    *,
+    spec: MachineSpec = DEFAULT_SPEC,
+    scale_memory: bool = True,
+    words_per_local_arc: float = 8.0,
+) -> list[RunResult]:
+    """Run every algorithm at every PE count on one fixed input.
+
+    ``scale_memory=True`` applies the proportional per-PE memory
+    budget (see :func:`~repro.analysis.runner.memory_limited_spec`),
+    which is what lets the statically-buffered baseline fail the way
+    the paper reports.
+    """
+    rows: list[RunResult] = []
+    for p in pe_counts:
+        dist = distribute(graph, num_pes=p)
+        run_spec = (
+            memory_limited_spec(dist, spec=spec, words_per_local_arc=words_per_local_arc)
+            if scale_memory
+            else spec
+        )
+        for algo in algorithms:
+            rows.append(run_algorithm(dist, algo, spec=run_spec))
+    return rows
+
+
+def weak_scaling(
+    family: Callable[[int, int], CSRGraph],
+    algorithms: Iterable[str],
+    pe_counts: Iterable[int],
+    *,
+    vertices_per_pe: int,
+    spec: MachineSpec = DEFAULT_SPEC,
+    scale_memory: bool = True,
+    words_per_local_arc: float = 8.0,
+    base_seed: int = 1,
+) -> list[RunResult]:
+    """Grow the input with the machine: ``n = vertices_per_pe * p``.
+
+    ``family(n, seed)`` generates the instance for a given total size
+    (e.g. ``lambda n, s: rgg2d(n, expected_edges=16 * n, seed=s)``).
+    Each PE count gets a fresh deterministic seed so instances are
+    independent draws of the same model, as with KaGen.
+    """
+    rows: list[RunResult] = []
+    for i, p in enumerate(pe_counts):
+        graph = family(vertices_per_pe * p, base_seed + i)
+        dist = distribute(graph, num_pes=p)
+        run_spec = (
+            memory_limited_spec(dist, spec=spec, words_per_local_arc=words_per_local_arc)
+            if scale_memory
+            else spec
+        )
+        for algo in algorithms:
+            rows.append(run_algorithm(dist, algo, spec=run_spec))
+    return rows

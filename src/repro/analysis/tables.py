@@ -1,0 +1,127 @@
+"""Rendering result rows as the paper's tables and figure series.
+
+Benchmarks print through these helpers so every experiment produces
+the same row/series layout as the corresponding paper artifact — the
+"same rows/series the paper reports" requirement of the reproduction.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+from .runner import RunResult
+
+__all__ = [
+    "format_table",
+    "scaling_series",
+    "format_scaling_table",
+    "format_phase_breakdown",
+    "speedup_over",
+]
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "--"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 1e-3 or abs(value) >= 1e6:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Iterable[dict], columns: Sequence[str], *, title: str = ""
+) -> str:
+    """Plain-text aligned table from dict rows."""
+    rows = list(rows)
+    widths = {c: len(c) for c in columns}
+    rendered = []
+    for row in rows:
+        r = {c: _fmt(row.get(c)) for c in columns}
+        rendered.append(r)
+        for c in columns:
+            widths[c] = max(widths[c], len(r[c]))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rendered:
+        lines.append("  ".join(r[c].rjust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def scaling_series(
+    results: Iterable[RunResult], metric: str = "time"
+) -> dict[str, list[tuple[int, float | None]]]:
+    """Per-algorithm ``[(p, metric), ...]`` series, sorted by ``p``.
+
+    Failed runs yield ``None`` values — plotted as gaps, like the
+    paper's missing TriC/HavoqGT points.
+    """
+    series: dict[str, list[tuple[int, float | None]]] = defaultdict(list)
+    for r in results:
+        value = getattr(r, metric) if r.ok else None
+        series[r.algorithm].append((r.num_pes, value))
+    for algo in series:
+        series[algo].sort()
+    return dict(series)
+
+
+def format_scaling_table(
+    results: Iterable[RunResult],
+    metric: str = "time",
+    *,
+    title: str = "",
+) -> str:
+    """One row per PE count, one column per algorithm (a figure panel)."""
+    series = scaling_series(results, metric)
+    pes = sorted({p for pts in series.values() for p, _ in pts})
+    algos = sorted(series)
+    rows = []
+    for p in pes:
+        row: dict[str, object] = {"p": p}
+        for algo in algos:
+            vals = dict(series[algo])
+            row[algo] = vals.get(p)
+        rows.append(row)
+    return format_table(rows, ["p", *algos], title=title or f"{metric} vs p")
+
+
+def format_phase_breakdown(results: Iterable[RunResult], *, title: str = "") -> str:
+    """Fig.-7-style stacked-phase rows (one per algorithm/PE count)."""
+    rows = []
+    phase_names: list[str] = []
+    results = list(results)
+    for r in results:
+        for name in r.phases:
+            if name not in phase_names:
+                phase_names.append(name)
+    for r in results:
+        row: dict[str, object] = {
+            "algorithm": r.algorithm,
+            "p": r.num_pes,
+            "total": r.time,
+        }
+        for name in phase_names:
+            row[name] = r.phases.get(name, 0.0)
+        rows.append(row)
+    return format_table(rows, ["algorithm", "p", "total", *phase_names], title=title)
+
+
+def speedup_over(
+    results: Iterable[RunResult], baseline: str, contender: str
+) -> dict[int, float]:
+    """``time(baseline) / time(contender)`` per PE count (both must be ok)."""
+    base = {r.num_pes: r.time for r in results if r.algorithm == baseline and r.ok}
+    cont = {r.num_pes: r.time for r in results if r.algorithm == contender and r.ok}
+    return {
+        p: base[p] / cont[p]
+        for p in sorted(set(base) & set(cont))
+        if cont[p] and base[p]
+    }

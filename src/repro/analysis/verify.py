@@ -1,0 +1,65 @@
+"""Ground-truth oracles and dataset statistics (Table I columns).
+
+Cross-checking strategy: the matrix-algebra counter and the
+edge-iterator counter are independent code paths; tests require them to
+agree with each other and (on small graphs) with networkx, and every
+distributed run is compared against them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.edge_iterator import edge_iterator, matrix_count
+from ..core.wedges import wedge_count
+from ..graphs.csr import CSRGraph
+
+__all__ = ["GraphStats", "graph_stats", "ground_truth_triangles"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """The statistics Table I reports per instance."""
+
+    name: str
+    n: int
+    m: int
+    wedges: int
+    triangles: int
+
+    @property
+    def avg_degree(self) -> float:
+        """``2 m / n``."""
+        return 2.0 * self.m / self.n if self.n else 0.0
+
+    @property
+    def transitivity(self) -> float:
+        """Global clustering coefficient ``3 T / W``."""
+        return 3.0 * self.triangles / self.wedges if self.wedges else 0.0
+
+
+def ground_truth_triangles(graph: CSRGraph, *, cross_check: bool = True) -> int:
+    """Triangle count via the sparse-matrix oracle.
+
+    ``cross_check=True`` also runs the edge iterator and insists the
+    two independent implementations agree.
+    """
+    t = matrix_count(graph)
+    if cross_check:
+        t2 = edge_iterator(graph).triangles
+        if t != t2:
+            raise AssertionError(
+                f"oracle disagreement on {graph.name!r}: matrix={t}, iterator={t2}"
+            )
+    return t
+
+
+def graph_stats(graph: CSRGraph, *, cross_check: bool = False) -> GraphStats:
+    """Compute the Table-I row of a graph."""
+    return GraphStats(
+        name=graph.name,
+        n=graph.num_vertices,
+        m=graph.num_edges,
+        wedges=wedge_count(graph),
+        triangles=ground_truth_triangles(graph, cross_check=cross_check),
+    )

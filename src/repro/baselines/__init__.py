@@ -1,0 +1,27 @@
+"""Competitor baselines the paper compares against.
+
+* :mod:`~repro.baselines.tric` — TriC-like: no degree orientation,
+  static single-shot buffering (OOM-prone), one dense all-to-all;
+* :mod:`~repro.baselines.havoqgt` — HavoqGT-like: vertex-centric wedge
+  visitors with batched delivery and heavyweight preprocessing;
+* :mod:`~repro.baselines.shared_memory` — intra-node strategies
+  (vertex-parallel Shun–Tangwongsan, edge-centric Green et al.).
+"""
+
+from .havoqgt import PEHavoqCounts, havoqgt_program
+from .shared_memory import (
+    SharedMemoryResult,
+    edge_parallel_count,
+    vertex_parallel_count,
+)
+from .tric import PETricCounts, tric_program
+
+__all__ = [
+    "PEHavoqCounts",
+    "havoqgt_program",
+    "SharedMemoryResult",
+    "edge_parallel_count",
+    "vertex_parallel_count",
+    "PETricCounts",
+    "tric_program",
+]

@@ -1,0 +1,270 @@
+"""Command-line interface: ``repro-tc`` / ``python -m repro``.
+
+Subcommands
+-----------
+``count``
+    Count triangles on a dataset stand-in, generator instance, or
+    graph file with any algorithm.
+``lcc``
+    Print local-clustering-coefficient statistics.
+``sweep``
+    Strong-scaling sweep over PE counts, printed as a figure panel.
+``datasets``
+    The Table-I stand-in statistics next to the paper's numbers.
+
+Examples
+--------
+::
+
+    repro-tc count --graph rgg2d:4096 --algorithm cetric -p 16
+    repro-tc sweep --graph dataset:webbase-2001 --max-pes 32
+    repro-tc datasets --scale 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .analysis import (
+    ALGORITHMS,
+    format_scaling_table,
+    graph_stats,
+    pe_counts_powers_of_two,
+    strong_scaling,
+)
+from .api import count_triangles, local_clustering_coefficients
+from .graphs import dataset as load_dataset
+from .graphs import generators as gen
+from .graphs.csr import CSRGraph
+from .graphs.datasets import DATASET_NAMES, PAPER_STATS
+from .graphs.io import load as load_file
+
+__all__ = ["main", "parse_graph_spec"]
+
+
+def parse_graph_spec(spec: str) -> CSRGraph:
+    """Parse a graph specifier.
+
+    Accepted forms::
+
+        dataset:<name>[:scale]   Table-I stand-in (e.g. dataset:orkut)
+        rgg2d:<n>[:seed]         generators with the paper defaults
+        rhg:<n>[:seed]
+        gnm:<n>[:seed]
+        rmat:<scale>[:seed]      (vertex count 2**scale)
+        <path>                   edge-list / METIS / .npz file
+    """
+    parts = spec.split(":")
+    kind = parts[0]
+    if kind == "dataset":
+        if len(parts) < 2:
+            raise ValueError("dataset spec needs a name, e.g. dataset:orkut")
+        scale = float(parts[2]) if len(parts) > 2 else 1.0
+        return load_dataset(parts[1], scale=scale)
+    if kind in ("rgg2d", "rhg", "gnm", "rmat"):
+        if len(parts) < 2:
+            raise ValueError(f"{kind} spec needs a size, e.g. {kind}:4096")
+        size = int(parts[1])
+        seed = int(parts[2]) if len(parts) > 2 else 1
+        if kind == "rgg2d":
+            return gen.rgg2d(size, expected_edges=16 * size, seed=seed)
+        if kind == "rhg":
+            return gen.rhg(size, avg_degree=32.0, seed=seed)
+        if kind == "gnm":
+            return gen.gnm(size, 16 * size, seed=seed)
+        return gen.rmat(size, 16, seed=seed)
+    return load_file(spec)
+
+
+def _cmd_count(args: argparse.Namespace) -> int:
+    graph = parse_graph_spec(args.graph)
+    res = count_triangles(graph, algorithm=args.algorithm, num_pes=args.pes)
+    if not res.ok:
+        print(f"{args.algorithm} failed: {res.failed}")
+        return 1
+    print(f"graph        : {graph.name} (n={graph.num_vertices}, m={graph.num_edges})")
+    print(f"algorithm    : {args.algorithm} (p={res.num_pes})")
+    print(f"triangles    : {res.triangles}")
+    if args.algorithm != "sequential":
+        print(f"modelled time: {res.time:.6f} s")
+        print(f"max messages : {res.max_messages}")
+        print(f"bottleneck communication volume: {res.bottleneck_volume} words")
+        for name, t in sorted(res.phases.items()):
+            print(f"  phase {name:<14s}: {t:.6f} s")
+    return 0
+
+
+def _cmd_lcc(args: argparse.Namespace) -> int:
+    graph = parse_graph_spec(args.graph)
+    lcc = local_clustering_coefficients(
+        graph, num_pes=args.pes if args.pes > 0 else None
+    )
+    print(f"graph : {graph.name} (n={graph.num_vertices}, m={graph.num_edges})")
+    print(f"mean LCC   : {lcc.mean():.6f}")
+    print(f"median LCC : {np.median(lcc):.6f}")
+    print(f"max LCC    : {lcc.max(initial=0):.6f}")
+    hist, edges = np.histogram(lcc, bins=10, range=(0.0, 1.0))
+    for lo, hi, count in zip(edges[:-1], edges[1:], hist):
+        bar = "#" * int(50 * count / max(hist.max(), 1))
+        print(f"  [{lo:4.2f},{hi:4.2f}) {count:8d} {bar}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    graph = parse_graph_spec(args.graph)
+    pes = pe_counts_powers_of_two(args.max_pes, start=args.min_pes)
+    algos = args.algorithms.split(",") if args.algorithms else [
+        "ditric", "ditric2", "cetric", "cetric2", "tric", "havoqgt",
+    ]
+    rows = strong_scaling(graph, algos, pes)
+    print(format_scaling_table(rows, "time", title=f"time [s] on {graph.name}"))
+    print()
+    print(format_scaling_table(rows, "max_messages", title="max #messages over PEs"))
+    print()
+    print(
+        format_scaling_table(
+            rows, "bottleneck_volume", title="bottleneck communication volume [words]"
+        )
+    )
+    if args.plot:
+        from .analysis.plot import plot_results
+
+        print()
+        print(plot_results(rows, "time", title=f"time vs p on {graph.name}"))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import generate_report
+
+    text = generate_report(
+        scale=args.scale,
+        pe_counts=tuple(int(p) for p in args.pes.split(",")),
+    )
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_types(args: argparse.Namespace) -> int:
+    graph = parse_graph_spec(args.graph)
+    from .analysis.triangle_types import classify_triangles
+
+    print(f"graph : {graph.name} (n={graph.num_vertices}, m={graph.num_edges})")
+    print(f"{'p':>4s} {'type1':>10s} {'type2':>10s} {'type3':>10s} {'local %':>8s}")
+    p = args.min_pes
+    while p <= args.max_pes:
+        counts = classify_triangles(graph, num_pes=p)
+        print(
+            f"{p:>4d} {counts.type1:>10d} {counts.type2:>10d} "
+            f"{counts.type3:>10d} {counts.local_fraction:>8.1%}"
+        )
+        p *= 2
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    graph = parse_graph_spec(args.graph)
+    from .analysis.verify import ground_truth_triangles
+
+    truth = ground_truth_triangles(graph, cross_check=True)
+    print(f"graph : {graph.name} (n={graph.num_vertices}, m={graph.num_edges})")
+    print(f"oracle triangle count: {truth}")
+    failures = 0
+    algos = args.algorithms.split(",") if args.algorithms else [
+        a for a in ALGORITHMS if a != "sequential"
+    ]
+    for algo in algos:
+        res = count_triangles(graph, algorithm=algo, num_pes=args.pes)
+        if not res.ok:
+            print(f"  {algo:18s}: FAILED ({res.failed})")
+            failures += 1
+        elif res.triangles != truth:
+            print(f"  {algo:18s}: MISMATCH ({res.triangles} != {truth})")
+            failures += 1
+        else:
+            print(f"  {algo:18s}: ok ({res.time:.6f} s modelled)")
+    return 1 if failures else 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    print(f"{'instance':<14s} {'n':>8s} {'m':>9s} {'wedges':>12s} {'triangles':>10s}"
+          f"   | paper (millions): n, m, wedges, triangles")
+    for name in DATASET_NAMES:
+        g = load_dataset(name, scale=args.scale)
+        s = graph_stats(g)
+        p = PAPER_STATS[name]
+        print(
+            f"{name:<14s} {s.n:>8d} {s.m:>9d} {s.wedges:>12d} {s.triangles:>10d}"
+            f"   | {p.n:g}, {p.m:g}, {p.wedges:g}, {p.triangles:g}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-tc`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-tc",
+        description="Distributed-memory triangle counting (Sanders & Uhl reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    c = sub.add_parser("count", help="count triangles")
+    c.add_argument("--graph", required=True, help="graph spec (see parse_graph_spec)")
+    c.add_argument("--algorithm", default="cetric", choices=ALGORITHMS)
+    c.add_argument("-p", "--pes", type=int, default=4, help="simulated PEs")
+    c.set_defaults(func=_cmd_count)
+
+    l = sub.add_parser("lcc", help="local clustering coefficients")
+    l.add_argument("--graph", required=True)
+    l.add_argument("-p", "--pes", type=int, default=0, help="0 = sequential")
+    l.set_defaults(func=_cmd_lcc)
+
+    s = sub.add_parser("sweep", help="strong-scaling sweep")
+    s.add_argument("--graph", required=True)
+    s.add_argument("--min-pes", type=int, default=1)
+    s.add_argument("--max-pes", type=int, default=16)
+    s.add_argument("--algorithms", default="", help="comma-separated names")
+    s.add_argument("--plot", action="store_true", help="append an ASCII log-log plot")
+    s.set_defaults(func=_cmd_sweep)
+
+    r = sub.add_parser("report", help="quick full-evaluation markdown report")
+    r.add_argument("--scale", type=float, default=0.25)
+    r.add_argument("--pes", default="2,4,8", help="comma-separated PE counts")
+    r.add_argument("-o", "--output", default="", help="write to file instead of stdout")
+    r.set_defaults(func=_cmd_report)
+
+    t = sub.add_parser("types", help="triangle-type (Fig. 4) breakdown per p")
+    t.add_argument("--graph", required=True)
+    t.add_argument("--min-pes", type=int, default=2)
+    t.add_argument("--max-pes", type=int, default=16)
+    t.set_defaults(func=_cmd_types)
+
+    v = sub.add_parser("verify", help="check every algorithm against the oracle")
+    v.add_argument("--graph", required=True)
+    v.add_argument("-p", "--pes", type=int, default=4)
+    v.add_argument("--algorithms", default="", help="comma-separated names")
+    v.set_defaults(func=_cmd_verify)
+
+    d = sub.add_parser("datasets", help="Table-I stand-in statistics")
+    d.add_argument("--scale", type=float, default=1.0)
+    d.set_defaults(func=_cmd_datasets)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

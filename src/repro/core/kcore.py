@@ -1,0 +1,116 @@
+"""Distributed k-core decomposition on the simulated machine.
+
+The paper's conclusion calls for graph-processing infrastructure that
+makes "a variety of graph analysis tasks" efficient on distributed
+memory; this module demonstrates that the machine substrate
+generalizes beyond triangle counting by implementing the classic
+locally-iterative core-number algorithm (Lü et al., "The H-index of a
+network node and its relation to degree and coreness", 2016):
+
+    est(v) <- H({est(u) : u in N_v}),   est(v) initialized to d_v,
+
+where ``H`` is the h-index operator (the largest ``h`` such that at
+least ``h`` neighbors have estimate ``>= h``).  The iteration
+converges monotonically from above to the exact core numbers and only
+ever reads neighbor estimates — so each round is one ghost-estimate
+exchange, exactly like the ghost-degree exchange of the counting
+preprocessing.
+
+Rounds are synchronous; termination is a global allreduce on the
+per-round change count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+import numpy as np
+
+from ..graphs.distributed import DistGraph
+from ..net.comm import allreduce, alltoallv_dense
+from ..net.machine import PEContext
+
+__all__ = ["PECores", "kcore_program", "h_index"]
+
+
+def h_index(values: np.ndarray) -> int:
+    """The h-index of a multiset: ``max h`` with ``h`` values ``>= h``."""
+    if values.size == 0:
+        return 0
+    sorted_desc = np.sort(values)[::-1]
+    ranks = np.arange(1, sorted_desc.size + 1)
+    ok = sorted_desc >= ranks
+    return int(ranks[ok].max(initial=0))
+
+
+@dataclass
+class PECores:
+    """Per-PE outcome of the distributed k-core program."""
+
+    #: Exact core numbers of the owned vertices (aligned with slots).
+    cores: np.ndarray
+    #: Number of synchronous rounds until the fixpoint.
+    rounds: int
+
+
+def _batch_h_index(est_of_neighbors: np.ndarray, xadj: np.ndarray) -> np.ndarray:
+    """h-index per CSR block (vectorized inside each block)."""
+    out = np.zeros(xadj.size - 1, dtype=np.int64)
+    for i in range(xadj.size - 1):
+        out[i] = h_index(est_of_neighbors[xadj[i] : xadj[i + 1]])
+    return out
+
+
+def kcore_program(ctx: PEContext, dist: DistGraph) -> Generator[None, None, PECores]:
+    """SPMD core-number computation (run via ``Machine.run``)."""
+    lg = dist.view(ctx.rank)
+    ghosts = lg.ghost_vertices
+    est_local = lg.degrees.astype(np.int64).copy()
+    est_ghost = np.zeros(ghosts.size, dtype=np.int64)
+
+    # Who needs which of my vertices' estimates (same pattern as the
+    # ghost-degree exchange).
+    cut = lg.cut_edges()
+    send_plan: list[tuple[int, np.ndarray]] = []
+    if cut.size:
+        tgt = lg.partition.rank_of(cut[:, 1])
+        pairs = np.unique(np.column_stack([tgt, cut[:, 0]]), axis=0)
+        for rank in np.unique(pairs[:, 0]):
+            send_plan.append((int(rank), pairs[pairs[:, 0] == rank, 1]))
+        ctx.charge(cut.shape[0])
+
+    rounds = 0
+    while True:
+        rounds += 1
+        # Exchange current estimates of interface vertices.
+        payloads = {
+            rank: ((ids, est_local[ids - lg.vlo]), 2 * ids.size)
+            for rank, ids in send_plan
+        }
+        msgs = yield from alltoallv_dense(ctx, payloads, tag_label="kcore-est")
+        for msg in msgs:
+            if msg.payload is None:
+                continue
+            ids, vals = msg.payload
+            slots = np.searchsorted(ghosts, ids)
+            est_ghost[slots] = vals
+            ctx.charge(ids.size)
+
+        # One h-index sweep over the owned vertices.
+        nbr_est = np.empty(lg.adjncy.size, dtype=np.int64)
+        local_mask = lg.is_local(lg.adjncy)
+        nbr_est[local_mask] = est_local[lg.adjncy[local_mask] - lg.vlo]
+        if ghosts.size:
+            gm = ~local_mask
+            nbr_est[gm] = est_ghost[np.searchsorted(ghosts, lg.adjncy[gm])]
+        new_est = _batch_h_index(nbr_est, lg.xadj)
+        # H-operator never increases estimates below the true core.
+        changed = int(np.count_nonzero(new_est != est_local))
+        ctx.charge(lg.adjncy.size)
+        est_local = new_est
+
+        total_changed = yield from allreduce(ctx, changed, lambda a, b: a + b)
+        if total_changed == 0:
+            break
+    return PECores(cores=est_local, rounds=rounds)

@@ -1,0 +1,204 @@
+"""Batched counting kernels shared by all distributed algorithms.
+
+Each helper performs many ``|A ∩ B|`` intersections in one vectorized
+batch (per the HPC-Python guidance) and charges the merge-model cost to
+the PE's simulated clock.  Work is chunked so temporary arrays stay
+bounded even when a PE processes millions of arc pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..net.aggregation import Record
+from ..net.machine import PEContext
+from .intersect import batch_intersect_count, batch_intersect_elements, concat_xadj, gather_blocks
+
+__all__ = [
+    "count_csr_pairs",
+    "count_record_pairs",
+    "record_pairs_elements",
+    "chunked",
+]
+
+#: Default number of arc pairs per vectorized batch.
+CHUNK_PAIRS = 1 << 18
+
+
+def chunked(total: int, chunk: int = CHUNK_PAIRS) -> Iterator[slice]:
+    """Yield slices covering ``range(total)`` in ``chunk``-sized pieces."""
+    for start in range(0, total, chunk):
+        yield slice(start, min(start + chunk, total))
+
+
+def count_csr_pairs(
+    ctx: PEContext,
+    left_xadj: np.ndarray,
+    left_adj: np.ndarray,
+    left_slots: np.ndarray,
+    right_xadj: np.ndarray,
+    right_adj: np.ndarray,
+    right_slots: np.ndarray,
+    bound: int,
+) -> int:
+    """Sum of ``|L_i ∩ R_i|`` over pairs of CSR blocks.
+
+    Pair ``i`` intersects block ``left_slots[i]`` of the left CSR with
+    block ``right_slots[i]`` of the right CSR.  Charges merge cost.
+    """
+    if left_slots.size != right_slots.size:
+        raise ValueError("slot arrays must align")
+    total = 0
+    for sl in chunked(left_slots.size):
+        lcat, lx = gather_blocks(left_xadj, left_adj, left_slots[sl])
+        rcat, rx = gather_blocks(right_xadj, right_adj, right_slots[sl])
+        res = batch_intersect_count(lcat, lx, rcat, rx, bound)
+        ctx.charge(res.ops)
+        total += res.total
+    return total
+
+
+def _records_to_batch(
+    records: list[Record],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenate record neighborhoods into CSR-of-records form.
+
+    Returns ``(vertices, rxadj, radj)`` where record ``i`` owns
+    ``radj[rxadj[i]:rxadj[i+1]]``.
+    """
+    if not records:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.zeros(1, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+    vertices = np.fromiter((r.vertex for r in records), dtype=np.int64, count=len(records))
+    sizes = np.fromiter((r.neighbors.size for r in records), dtype=np.int64, count=len(records))
+    rxadj = concat_xadj(sizes)
+    radj = (
+        np.concatenate([r.neighbors for r in records])
+        if int(rxadj[-1])
+        else np.empty(0, dtype=np.int64)
+    )
+    return vertices, rxadj, radj
+
+
+def _expand_record_pairs(
+    ctx: PEContext,
+    records: list[Record],
+    vlo: int,
+    vhi: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """For received records, enumerate the (record, local target) pairs.
+
+    A record with an explicit ``target`` (Algorithm 2 shape) yields
+    exactly one pair for that edge.  A broadcast record
+    (``target=None``, surrogate shape) yields one pair per owned
+    ``u ∈ A(v)``.  Returns ``(rxadj, radj, rec_idx, targets)``:
+    the record-CSR plus, per pair, its record index and owned ``u``.
+    """
+    vertices, rxadj, radj = _records_to_batch(records)
+    rec_idx_parts: list[np.ndarray] = []
+    target_parts: list[np.ndarray] = []
+    targeted = np.fromiter(
+        (r.target if r.target is not None else -1 for r in records),
+        dtype=np.int64,
+        count=len(records),
+    )
+    has_target = targeted >= 0
+    if np.any(has_target):
+        idx = np.flatnonzero(has_target)
+        tg = targeted[idx]
+        ok = (tg >= vlo) & (tg < vhi)
+        rec_idx_parts.append(idx[ok])
+        target_parts.append(tg[ok])
+        ctx.charge(idx.size)
+    if not np.all(has_target):
+        bidx = np.flatnonzero(~has_target)
+        # Entries of broadcast records only.
+        rec_of_entry = np.repeat(np.arange(len(records), dtype=np.int64), np.diff(rxadj))
+        bmask = ~has_target[rec_of_entry]
+        cand_rec = rec_of_entry[bmask]
+        cand_u = radj[bmask]
+        local_mask = (cand_u >= vlo) & (cand_u < vhi)
+        rec_idx_parts.append(cand_rec[local_mask])
+        target_parts.append(cand_u[local_mask])
+        ctx.charge(cand_u.size)  # scan for local targets (Algorithm 3 line 15)
+        del bidx
+    rec_idx = (
+        np.concatenate(rec_idx_parts) if rec_idx_parts else np.empty(0, dtype=np.int64)
+    )
+    targets = (
+        np.concatenate(target_parts) if target_parts else np.empty(0, dtype=np.int64)
+    )
+    return rxadj, radj, rec_idx, targets
+
+
+def count_record_pairs(
+    ctx: PEContext,
+    records: list[Record],
+    local_xadj: np.ndarray,
+    local_adj: np.ndarray,
+    vlo: int,
+    vhi: int,
+    bound: int,
+) -> int:
+    """Receiver-side counting: ``sum |A(v) ∩ A(u)|`` for received records.
+
+    ``local_xadj``/``local_adj`` is the receiver's oriented (or
+    contracted) CSR over owned-vertex slots.  For every record
+    ``(v, A(v))`` and every ``u ∈ A(v) ∩ V_i``, intersect the record's
+    array with the local ``A(u)`` (Algorithm 2 lines 6-7 /
+    Algorithm 3 lines 14-16).
+    """
+    rxadj, radj, rec_idx, targets = _expand_record_pairs(ctx, records, vlo, vhi)
+    if rec_idx.size == 0:
+        return 0
+    total = 0
+    for sl in chunked(rec_idx.size):
+        # Left side: each pair re-reads its record's full array.
+        lcat, lx = gather_blocks(rxadj, radj, rec_idx[sl])
+        rcat, rx = gather_blocks(local_xadj, local_adj, targets[sl] - vlo)
+        res = batch_intersect_count(lcat, lx, rcat, rx, bound)
+        ctx.charge(res.ops)
+        total += res.total
+    return total
+
+
+def record_pairs_elements(
+    ctx: PEContext,
+    records: list[Record],
+    local_xadj: np.ndarray,
+    local_adj: np.ndarray,
+    vlo: int,
+    vhi: int,
+    bound: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Like :func:`count_record_pairs` but returning the triangles.
+
+    Returns ``(v_ids, u_ids, w_ids)`` — one entry per triangle found at
+    this receiver, where ``v`` is the record vertex, ``u`` the owned
+    middle vertex and ``w`` the closing vertex.  Needed by the LCC
+    extension, which must credit all three corners.
+    """
+    rxadj, radj, rec_idx, targets = _expand_record_pairs(ctx, records, vlo, vhi)
+    vertices = np.fromiter((r.vertex for r in records), dtype=np.int64, count=len(records))
+    if rec_idx.size == 0:
+        e = np.empty(0, dtype=np.int64)
+        return e, e.copy(), e.copy()
+    v_out, u_out, w_out = [], [], []
+    for sl in chunked(rec_idx.size):
+        lcat, lx = gather_blocks(rxadj, radj, rec_idx[sl])
+        rcat, rx = gather_blocks(local_xadj, local_adj, targets[sl] - vlo)
+        pair_in_chunk, closing, ops = batch_intersect_elements(lcat, lx, rcat, rx, bound)
+        ctx.charge(ops)
+        v_out.append(vertices[rec_idx[sl][pair_in_chunk]])
+        u_out.append(targets[sl][pair_in_chunk])
+        w_out.append(closing)
+    return (
+        np.concatenate(v_out),
+        np.concatenate(u_out),
+        np.concatenate(w_out),
+    )

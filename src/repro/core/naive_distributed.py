@@ -1,0 +1,42 @@
+"""The basic distributed EDGEITERATOR (paper Algorithm 2 / Fig. 2).
+
+The direct adaptation of EDGEITERATOR to a 1D-partitioned graph:
+process local arcs locally, ship ``N_v^+`` across every cut arc.
+Without aggregation each neighborhood is its own message — the
+configuration whose startup overhead Fig. 2 demonstrates; with
+aggregation it becomes DITRIC minus the surrogate filter.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..graphs.distributed import DistGraph
+from ..net.machine import PEContext
+from .engine import EngineConfig, PECounts, counting_program
+
+__all__ = ["naive_program", "NAIVE_CONFIG", "NAIVE_AGGREGATED_CONFIG"]
+
+#: Algorithm 2 verbatim: no aggregation, no surrogate (duplicate sends
+#: of the same neighborhood to the same PE do happen, as in the paper's
+#: motivating discussion).
+NAIVE_CONFIG = EngineConfig(
+    contraction=False, aggregate=False, indirect=False, surrogate=False
+)
+
+#: Algorithm 2 plus dynamic aggregation — the "with aggregation" series
+#: of Fig. 2.
+NAIVE_AGGREGATED_CONFIG = EngineConfig(
+    contraction=False, aggregate=True, indirect=False, surrogate=False
+)
+
+
+def naive_program(
+    ctx: PEContext,
+    dist: DistGraph,
+    *,
+    aggregate: bool = False,
+) -> Generator[None, None, PECounts]:
+    """SPMD program for the basic distributed edge iterator."""
+    config = NAIVE_AGGREGATED_CONFIG if aggregate else NAIVE_CONFIG
+    return (yield from counting_program(ctx, dist, config))

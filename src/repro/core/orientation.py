@@ -1,0 +1,84 @@
+"""Orienting graphs along a total order; out-/in-neighborhoods.
+
+Applying the degree order of :mod:`repro.core.ordering` to an
+undirected :class:`~repro.graphs.csr.CSRGraph` keeps, for every vertex
+``v``, only the out-neighbors ``N_v^+ = {u : v ≺ u}``.  The result is
+an *oriented* CSR graph (one arc per edge) that is acyclic by
+construction — the property that guarantees each triangle is counted
+exactly once from its ≺-smallest vertex.
+
+The orientation is a pure NumPy filter over the adjacency array; no
+per-edge Python work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from .ordering import DegreeOrder
+
+__all__ = ["orient", "orient_by_degree", "out_neighborhoods", "is_acyclic_orientation"]
+
+
+def orient(graph: CSRGraph, order: DegreeOrder) -> CSRGraph:
+    """Keep only arcs ``(v, u)`` with ``v ≺ u`` under ``order``.
+
+    Neighborhood sortedness (by vertex id) is preserved because
+    filtering a sorted sequence keeps it sorted.
+    """
+    if graph.oriented:
+        raise ValueError("graph is already oriented")
+    if order.num_vertices != graph.num_vertices:
+        raise ValueError("order covers a different vertex count")
+    src = np.repeat(graph.vertices(), graph.degrees)
+    keep = order.compare(src, graph.adjncy)
+    new_adj = graph.adjncy[keep]
+    # Recompute offsets from per-vertex kept counts.
+    kept_counts = np.bincount(src[keep], minlength=graph.num_vertices)
+    xadj = np.zeros(graph.num_vertices + 1, dtype=np.int64)
+    np.cumsum(kept_counts, out=xadj[1:])
+    return CSRGraph(
+        xadj,
+        new_adj,
+        oriented=True,
+        sorted_neighborhoods=graph.sorted_neighborhoods,
+        name=graph.name,
+    )
+
+
+def orient_by_degree(graph: CSRGraph) -> CSRGraph:
+    """Orient with the COMPACT-FORWARD degree order (paper default)."""
+    return orient(graph, DegreeOrder.from_degrees(graph.degrees))
+
+
+def out_neighborhoods(graph: CSRGraph) -> tuple[np.ndarray, np.ndarray]:
+    """Return oriented ``(xadj, adjncy)`` without building a new graph.
+
+    Convenience for kernels that want raw arrays; equivalent to
+    ``orient_by_degree(graph)`` but skipping the CSRGraph wrapper when
+    the input is already oriented.
+    """
+    if graph.oriented:
+        return graph.xadj, graph.adjncy
+    og = orient_by_degree(graph)
+    return og.xadj, og.adjncy
+
+
+def is_acyclic_orientation(oriented: CSRGraph) -> bool:
+    """Check that the arc relation is a DAG (sanity/test helper).
+
+    Any orientation along a total order is acyclic; this verifies it
+    directly by checking that every arc increases the degree-order key.
+    """
+    if not oriented.oriented:
+        raise ValueError("expected an oriented graph")
+    src = np.repeat(oriented.vertices(), oriented.degrees)
+    # Out-degree keys are not the orientation keys; a DAG check via
+    # topological sort is the robust route.
+    import networkx as nx
+
+    dg = nx.DiGraph()
+    dg.add_nodes_from(range(oriented.num_vertices))
+    dg.add_edges_from(zip(src.tolist(), oriented.adjncy.tolist()))
+    return nx.is_directed_acyclic_graph(dg)

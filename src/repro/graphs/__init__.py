@@ -1,0 +1,81 @@
+"""Graph substrate: CSR storage, builders, IO, generators, partitioning.
+
+Everything the distributed triangle-counting algorithms sit on top of:
+
+* :class:`~repro.graphs.csr.CSRGraph` — adjacency-array storage;
+* :mod:`~repro.graphs.builders` — vectorized construction/cleaning;
+* :mod:`~repro.graphs.generators` — KaGen-equivalent synthetic models;
+* :mod:`~repro.graphs.datasets` — Table-I stand-ins;
+* :class:`~repro.graphs.partition.Partition` — 1D ID partitioning;
+* :class:`~repro.graphs.distributed.LocalGraph` /
+  :func:`~repro.graphs.distributed.distribute` — per-PE views with
+  ghosts, interface vertices and cut edges.
+"""
+
+from .balance import (
+    COST_FUNCTIONS,
+    RebalanceResult,
+    cost_balanced_partition,
+    rebalance,
+)
+from .builders import (
+    canonical_edges,
+    empty_graph,
+    from_edges,
+    from_neighborhoods,
+    from_networkx,
+    from_scipy,
+    induced_subgraph,
+    relabel,
+    remove_isolated_vertices,
+)
+from .csr import INVALID_VERTEX, CSRGraph
+from .datasets import DATASET_NAMES, PAPER_STATS, dataset
+from .distributed import DistGraph, LocalGraph, distribute
+from .partition import Partition, partition_by_edges, partition_by_vertices
+from .reorder import bfs_order, cut_fraction, degree_order, random_order
+from .stats import (
+    DegreeSummary,
+    connected_components,
+    core_numbers,
+    degeneracy,
+    degeneracy_order,
+    degree_summary,
+)
+
+__all__ = [
+    "COST_FUNCTIONS",
+    "RebalanceResult",
+    "cost_balanced_partition",
+    "rebalance",
+    "CSRGraph",
+    "INVALID_VERTEX",
+    "canonical_edges",
+    "empty_graph",
+    "from_edges",
+    "from_neighborhoods",
+    "from_networkx",
+    "from_scipy",
+    "induced_subgraph",
+    "relabel",
+    "remove_isolated_vertices",
+    "DATASET_NAMES",
+    "PAPER_STATS",
+    "dataset",
+    "DistGraph",
+    "LocalGraph",
+    "distribute",
+    "Partition",
+    "partition_by_edges",
+    "partition_by_vertices",
+    "bfs_order",
+    "cut_fraction",
+    "degree_order",
+    "random_order",
+    "DegreeSummary",
+    "connected_components",
+    "core_numbers",
+    "degeneracy",
+    "degeneracy_order",
+    "degree_summary",
+]

@@ -1,0 +1,255 @@
+"""Compressed sparse row (adjacency array) graph representation.
+
+The paper (Section II-B) assumes the input graph is stored in the
+*adjacency array* format: the neighborhoods ``N_v`` of all vertices are
+stored consecutively in one big array (``adjncy``) and a second offset
+array (``xadj``) of length ``n + 1`` records where each neighborhood
+starts.  This is exactly the CSR layout used by METIS, KaGen, and the
+authors' C++ code.
+
+Two flavours share the representation:
+
+* an **undirected** graph stores every edge ``{u, v}`` twice, once in
+  ``N_u`` and once in ``N_v`` (``adjncy`` has ``2 m`` entries);
+* an **oriented** graph (the result of degree orientation,
+  :mod:`repro.core.orientation`) stores each edge once, in the
+  out-neighborhood of its smaller endpoint w.r.t. the total order
+  (``adjncy`` has ``m`` entries).
+
+Both are instances of :class:`CSRGraph`; the :attr:`CSRGraph.oriented`
+flag records which interpretation applies.  All arrays are NumPy
+``int64`` so kernels can operate on them without copies, per the
+HPC-Python guidance of keeping hot paths vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["CSRGraph", "VertexId", "INVALID_VERTEX"]
+
+#: Type alias used in signatures for readability; vertices are plain ints.
+VertexId = int
+
+#: Sentinel used by algorithms that need an "undefined vertex" marker.
+INVALID_VERTEX: int = -1
+
+
+def _as_int64(a) -> np.ndarray:
+    """Return ``a`` as a contiguous int64 array (no copy if possible)."""
+    return np.ascontiguousarray(a, dtype=np.int64)
+
+
+@dataclass
+class CSRGraph:
+    """A graph in adjacency-array (CSR) form.
+
+    Parameters
+    ----------
+    xadj:
+        Offsets, shape ``(n + 1,)``.  Neighborhood of vertex ``v`` is
+        ``adjncy[xadj[v]:xadj[v + 1]]``.
+    adjncy:
+        Concatenated neighborhoods.
+    oriented:
+        ``False`` for a symmetric (undirected) graph where every edge
+        appears in both endpoint neighborhoods; ``True`` when each edge
+        is stored only in the out-neighborhood of its source.
+    sorted_neighborhoods:
+        Whether every neighborhood is sorted ascending.  The
+        merge-based intersection kernels require this; builders sort by
+        default.
+
+    Notes
+    -----
+    The class is deliberately *dumb*: it owns storage and cheap
+    accessors only.  Construction, cleaning, and orientation live in
+    :mod:`repro.graphs.builders` and :mod:`repro.core.orientation`.
+    """
+
+    xadj: np.ndarray
+    adjncy: np.ndarray
+    oriented: bool = False
+    sorted_neighborhoods: bool = True
+    #: Optional display name (dataset id); purely informational.
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        self.xadj = _as_int64(self.xadj)
+        self.adjncy = _as_int64(self.adjncy)
+        if self.xadj.ndim != 1 or self.xadj.size == 0:
+            raise ValueError("xadj must be a 1-D array of length n + 1 >= 1")
+        if self.xadj[0] != 0:
+            raise ValueError("xadj[0] must be 0")
+        if self.xadj[-1] != self.adjncy.size:
+            raise ValueError(
+                f"xadj[-1] ({int(self.xadj[-1])}) must equal len(adjncy) "
+                f"({self.adjncy.size})"
+            )
+        if np.any(np.diff(self.xadj) < 0):
+            raise ValueError("xadj must be non-decreasing")
+        if self.adjncy.size and (
+            self.adjncy.min() < 0 or self.adjncy.max() >= self.num_vertices
+        ):
+            raise ValueError("adjncy contains out-of-range vertex ids")
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return self.xadj.size - 1
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of stored (directed) arcs, i.e. ``len(adjncy)``."""
+        return self.adjncy.size
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m``.
+
+        For a symmetric graph every edge is stored twice; for an
+        oriented graph once.
+        """
+        if self.oriented:
+            return self.num_arcs
+        if self.num_arcs % 2 != 0:
+            raise ValueError("symmetric graph has odd number of arcs")
+        return self.num_arcs // 2
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def neighbors(self, v: int) -> np.ndarray:
+        """Neighborhood ``N_v`` (out-neighborhood if oriented) as a view."""
+        return self.adjncy[self.xadj[v] : self.xadj[v + 1]]
+
+    def degree(self, v: int) -> int:
+        """Degree (out-degree if oriented) of ``v``."""
+        return int(self.xadj[v + 1] - self.xadj[v])
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """All degrees as an ``(n,)`` int64 array (no Python loop)."""
+        return np.diff(self.xadj)
+
+    def max_degree(self) -> int:
+        """Maximum degree, 0 for an empty graph."""
+        if self.num_vertices == 0:
+            return 0
+        return int(self.degrees.max(initial=0))
+
+    def vertices(self) -> np.ndarray:
+        """``arange(n)`` — handy for vectorized per-vertex expressions."""
+        return np.arange(self.num_vertices, dtype=np.int64)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Membership test ``v in N_u`` (binary search if sorted)."""
+        nbrs = self.neighbors(u)
+        if self.sorted_neighborhoods:
+            i = int(np.searchsorted(nbrs, v))
+            return i < nbrs.size and int(nbrs[i]) == v
+        return bool(np.any(nbrs == v))
+
+    def edges(self) -> np.ndarray:
+        """All stored arcs as an ``(num_arcs, 2)`` array ``[src, dst]``.
+
+        For a symmetric graph this yields both ``(u, v)`` and
+        ``(v, u)``; use :meth:`undirected_edges` for one row per edge.
+        """
+        src = np.repeat(self.vertices(), self.degrees)
+        return np.column_stack([src, self.adjncy])
+
+    def undirected_edges(self) -> np.ndarray:
+        """One row ``[u, v]`` with ``u < v`` per undirected edge."""
+        e = self.edges()
+        if self.oriented:
+            # An oriented graph stores each edge once already, but not
+            # necessarily with the numerically smaller endpoint first.
+            lo = np.minimum(e[:, 0], e[:, 1])
+            hi = np.maximum(e[:, 0], e[:, 1])
+            return np.column_stack([lo, hi])
+        keep = e[:, 0] < e[:, 1]
+        return e[keep]
+
+    def iter_neighborhoods(self) -> Iterator[tuple[int, np.ndarray]]:
+        """Iterate ``(v, N_v)`` pairs.  For tests/examples, not hot paths."""
+        for v in range(self.num_vertices):
+            yield v, self.neighbors(v)
+
+    # ------------------------------------------------------------------
+    # Validation / conversion
+    # ------------------------------------------------------------------
+    def check_symmetric(self) -> bool:
+        """Return ``True`` iff for every arc (u, v) the arc (v, u) exists."""
+        e = self.edges()
+        fwd = {(int(u), int(v)) for u, v in e}
+        return all((v, u) in fwd for (u, v) in fwd)
+
+    def check_sorted(self) -> bool:
+        """Return ``True`` iff every neighborhood is sorted ascending."""
+        if self.num_arcs == 0:
+            return True
+        d = np.diff(self.adjncy)
+        ok = d >= 0
+        # Positions where a new neighborhood starts may legitimately
+        # decrease; mask them out (only interior boundaries index into
+        # the diff array — empty neighborhoods at either end do not).
+        starts = self.xadj[1:-1]
+        starts = starts[(starts >= 1) & (starts <= self.num_arcs - 1)]
+        ok[starts - 1] = True
+        return bool(np.all(ok))
+
+    def check_no_self_loops(self) -> bool:
+        """Return ``True`` iff no vertex lists itself as a neighbor."""
+        src = np.repeat(self.vertices(), self.degrees)
+        return not bool(np.any(src == self.adjncy))
+
+    def to_scipy(self):
+        """The graph as a ``scipy.sparse.csr_matrix`` of 0/1 weights."""
+        from scipy.sparse import csr_matrix
+
+        data = np.ones(self.num_arcs, dtype=np.int64)
+        return csr_matrix(
+            (data, self.adjncy.copy(), self.xadj.copy()),
+            shape=(self.num_vertices, self.num_vertices),
+        )
+
+    def to_networkx(self):
+        """The graph as a :class:`networkx.Graph` (tests / examples)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.num_vertices))
+        g.add_edges_from(map(tuple, self.undirected_edges()))
+        return g
+
+    def copy(self) -> "CSRGraph":
+        """Deep copy (arrays owned by the new instance)."""
+        return CSRGraph(
+            self.xadj.copy(),
+            self.adjncy.copy(),
+            oriented=self.oriented,
+            sorted_neighborhoods=self.sorted_neighborhoods,
+            name=self.name,
+        )
+
+    def memory_words(self) -> int:
+        """Storage footprint in 8-byte machine words (xadj + adjncy)."""
+        return int(self.xadj.size + self.adjncy.size)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "oriented" if self.oriented else "undirected"
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"CSRGraph({kind}{label}, n={self.num_vertices}, "
+            f"arcs={self.num_arcs})"
+        )

@@ -1,0 +1,182 @@
+"""Scaled stand-ins for the real-world instances of Table I.
+
+The paper evaluates on eight real-world graphs (SNAP / KONECT / LAW /
+DIMACS) of up to 3.3 billion edges.  Those inputs are far beyond what
+this pure-Python reproduction can hold, so each gets a **synthetic
+stand-in** matched on the structural axes the experiments actually
+discriminate on:
+
+========== ======================= ==========================================
+family      paper instances         stand-in recipe
+========== ======================= ==========================================
+social      live-journal, orkut,    RHG (power-law degrees + clustering) with
+            twitter, friendster     a random id shuffle (social ids carry *no*
+                                    locality — the paper observes exactly this
+                                    on friendster); twitter uses R-MAT for its
+                                    extreme skew and low clustering.
+web         uk-2007-05,             RHG *without* shuffling: crawl-ordered web
+            webbase-2001            graphs have strong id locality, giving
+                                    small cuts that CETRIC exploits.
+road        europe, usa             sparse 2D lattices with a sprinkling of
+                                    diagonals: uniform low degree, tiny cuts,
+                                    few triangles.
+========== ======================= ==========================================
+
+Every stand-in is deterministic per (name, scale, seed).  ``scale``
+multiplies the default vertex count (~2**13) so strong-scaling sweeps
+can grow inputs without touching the recipes.
+
+:data:`PAPER_STATS` records the actual Table-I numbers so benchmark
+output can print paper-vs-measured rows (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .builders import from_edges, relabel
+from .csr import CSRGraph
+from .generators import grid2d, rhg, rmat
+
+__all__ = ["PAPER_STATS", "DATASET_NAMES", "dataset", "load_real", "PaperStats"]
+
+
+@dataclass(frozen=True)
+class PaperStats:
+    """A row of Table I (counts in millions unless noted)."""
+
+    family: str
+    n: float
+    m: float
+    wedges: float
+    triangles: float
+
+    @property
+    def avg_degree(self) -> float:
+        """Average degree ``2 m / n`` of the original instance."""
+        return 2.0 * self.m / self.n
+
+
+#: Table I of the paper, verbatim (n, m, wedges, triangles in millions).
+PAPER_STATS: dict[str, PaperStats] = {
+    "live-journal": PaperStats("social", 5, 43, 681, 286),
+    "orkut": PaperStats("social", 3, 117, 4040, 628),
+    "twitter": PaperStats("social", 42, 1203, 150508, 34825),
+    "friendster": PaperStats("social", 68, 1812, 82286, 4177),
+    "uk-2007-05": PaperStats("web", 106, 3302, 389061, 286701),
+    "webbase-2001": PaperStats("web", 118, 855, 15393, 12262),
+    "europe": PaperStats("road", 18, 22, 8, 0.697519),
+    "usa": PaperStats("road", 24, 29, 11, 0.438804),
+}
+
+DATASET_NAMES: tuple[str, ...] = tuple(PAPER_STATS)
+
+#: Default stand-in vertex count at scale=1.0.
+_BASE_N = 1 << 13
+
+
+def _shuffled(g: CSRGraph, seed: int) -> CSRGraph:
+    """Random id relabel — destroys id locality like social-network ids."""
+    rng = np.random.default_rng(seed)
+    return relabel(g, rng.permutation(g.num_vertices))
+
+
+def _road(n_target: int, seed: int, diag_fraction: float, name: str) -> CSRGraph:
+    """Sparse lattice road-network stand-in with a few triangle-making diagonals."""
+    side = max(2, int(np.sqrt(n_target)))
+    base = grid2d(side, side)
+    idx = np.arange(side * side, dtype=np.int64).reshape(side, side)
+    diag = np.column_stack([idx[:-1, :-1].ravel(), idx[1:, 1:].ravel()])
+    rng = np.random.default_rng(seed)
+    keep = rng.random(diag.shape[0]) < diag_fraction
+    edges = np.concatenate([base.undirected_edges(), diag[keep]])
+    return from_edges(edges, num_vertices=side * side, name=name)
+
+
+def _social_rhg(n: int, avg_degree: float, gamma: float, seed: int, name: str) -> CSRGraph:
+    g = rhg(n, avg_degree=avg_degree, gamma=gamma, seed=seed)
+    g = _shuffled(g, seed + 1)
+    g.name = name
+    return g
+
+
+def _web_rhg(n: int, avg_degree: float, gamma: float, seed: int, name: str) -> CSRGraph:
+    g = rhg(n, avg_degree=avg_degree, gamma=gamma, seed=seed)
+    g.name = name
+    return g
+
+
+def _twitter(n: int, seed: int, name: str) -> CSRGraph:
+    scale = max(1, int(np.round(np.log2(max(2, n)))))
+    g = rmat(scale, edge_factor=28, seed=seed)
+    g.name = name
+    return g
+
+
+_RECIPES: dict[str, Callable[[int, int], CSRGraph]] = {
+    # Social: power-law + clustering, ids shuffled (no locality).
+    "live-journal": lambda n, s: _social_rhg(n, 17.0, 2.8, s, "live-journal"),
+    "orkut": lambda n, s: _social_rhg(n, 48.0, 3.0, s, "orkut"),
+    # Twitter: extreme skew, relatively low clustering -> R-MAT.
+    "twitter": lambda n, s: _twitter(n, s, "twitter"),
+    # Friendster: big, moderate clustering, no locality.
+    "friendster": lambda n, s: _social_rhg(n, 32.0, 3.2, s, "friendster"),
+    # Web: locality-preserving ids, dense triangles.
+    "uk-2007-05": lambda n, s: _web_rhg(n, 56.0, 2.4, s, "uk-2007-05"),
+    "webbase-2001": lambda n, s: _web_rhg(n, 14.0, 2.6, s, "webbase-2001"),
+    # Road: sparse lattices.
+    "europe": lambda n, s: _road(n, s, 0.08, "europe"),
+    "usa": lambda n, s: _road(n, s, 0.05, "usa"),
+}
+
+
+def load_real(name: str, path) -> CSRGraph:
+    """Load an actual Table-I dataset from disk (if you have it).
+
+    Applies the paper's preprocessing — undirect, simplify, drop
+    isolated vertices — and warns when the loaded sizes are far from
+    Table I's (a likely sign of loading the wrong file).  Accepts any
+    format :func:`repro.graphs.io.load` understands.
+    """
+    import warnings
+
+    from .builders import remove_isolated_vertices
+    from .io import load as _load
+
+    if name not in PAPER_STATS:
+        raise KeyError(f"unknown dataset {name!r}; choose from {DATASET_NAMES}")
+    g = _load(path)
+    g, _ = remove_isolated_vertices(g)
+    g.name = name
+    expected = PAPER_STATS[name]
+    if not (0.5 * expected.m * 1e6 <= g.num_edges <= 2.0 * expected.m * 1e6):
+        warnings.warn(
+            f"{name}: loaded m={g.num_edges:,} but Table I says "
+            f"~{expected.m:g}M edges — check the input file",
+            stacklevel=2,
+        )
+    return g
+
+
+def dataset(name: str, *, scale: float = 1.0, seed: int = 42) -> CSRGraph:
+    """Instantiate the stand-in for a Table-I dataset.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`DATASET_NAMES`.
+    scale:
+        Multiplies the default stand-in size (``~2**13`` vertices).
+        Strong-scaling benchmarks typically use 1.0; quick tests 0.1.
+    seed:
+        Base RNG seed; the default matches the benchmark harness.
+    """
+    if name not in _RECIPES:
+        raise KeyError(f"unknown dataset {name!r}; choose from {DATASET_NAMES}")
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    n = max(16, int(_BASE_N * scale))
+    return _RECIPES[name](n, seed)

@@ -1,0 +1,49 @@
+"""Graph generators — KaGen-equivalent synthetic families plus classics.
+
+The paper generates its weak-scaling inputs with KaGen (RGG2D, RHG,
+GNM, R-MAT); this package provides deterministic NumPy implementations
+of the same models with the same default parameterizations
+(``m = 16 n``, RHG ``gamma = 2.8``, Graph 500 R-MAT probabilities).
+"""
+
+from .classic import (
+    barbell,
+    complete_graph,
+    disjoint_cliques,
+    grid2d,
+    path,
+    ring,
+    star,
+    triangular_lattice,
+    wheel,
+)
+from .gnm import gnm
+from .rgg import (
+    radius_for_expected_edges,
+    radius_for_expected_edges_3d,
+    rgg2d,
+    rgg3d,
+)
+from .rhg import disk_radius_for_avg_degree, rhg
+from .rmat import GRAPH500_PROBS, rmat
+
+__all__ = [
+    "barbell",
+    "complete_graph",
+    "disjoint_cliques",
+    "grid2d",
+    "path",
+    "ring",
+    "star",
+    "triangular_lattice",
+    "wheel",
+    "gnm",
+    "rgg2d",
+    "rgg3d",
+    "radius_for_expected_edges",
+    "radius_for_expected_edges_3d",
+    "rhg",
+    "disk_radius_for_avg_degree",
+    "rmat",
+    "GRAPH500_PROBS",
+]

@@ -1,0 +1,137 @@
+"""Deterministic graph families for tests, examples and road-network stand-ins.
+
+Road networks (europe / usa in Table I) have near-uniform low degrees,
+very small cuts under contiguous 1D partitions, and few triangles —
+properties matched here by 2D grid lattices with diagonal shortcuts.
+Complete graphs, rings, stars and trees provide analytically known
+triangle counts for unit tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..builders import from_edges
+from ..csr import CSRGraph
+
+__all__ = [
+    "complete_graph",
+    "ring",
+    "star",
+    "path",
+    "grid2d",
+    "triangular_lattice",
+    "barbell",
+    "disjoint_cliques",
+    "wheel",
+]
+
+
+def complete_graph(n: int, *, name: str | None = None) -> CSRGraph:
+    """``K_n`` — has exactly ``C(n, 3)`` triangles."""
+    u, v = np.triu_indices(n, k=1)
+    label = name if name is not None else f"K{n}"
+    return from_edges(np.column_stack([u, v]).astype(np.int64), num_vertices=n, name=label)
+
+
+def ring(n: int, *, name: str | None = None) -> CSRGraph:
+    """Cycle ``C_n`` — zero triangles for ``n >= 4``; one for ``n == 3``."""
+    if n < 3:
+        raise ValueError("ring needs n >= 3")
+    v = np.arange(n, dtype=np.int64)
+    edges = np.column_stack([v, (v + 1) % n])
+    return from_edges(edges, num_vertices=n, name=name or f"C{n}")
+
+
+def star(n: int, *, name: str | None = None) -> CSRGraph:
+    """Star ``S_{n-1}``: hub 0 connected to all others; zero triangles."""
+    if n < 2:
+        raise ValueError("star needs n >= 2")
+    leaves = np.arange(1, n, dtype=np.int64)
+    edges = np.column_stack([np.zeros(n - 1, dtype=np.int64), leaves])
+    return from_edges(edges, num_vertices=n, name=name or f"S{n - 1}")
+
+
+def path(n: int, *, name: str | None = None) -> CSRGraph:
+    """Path ``P_n``; zero triangles."""
+    if n < 1:
+        raise ValueError("path needs n >= 1")
+    v = np.arange(n - 1, dtype=np.int64)
+    edges = np.column_stack([v, v + 1])
+    return from_edges(edges, num_vertices=n, name=name or f"P{n}")
+
+
+def grid2d(rows: int, cols: int, *, name: str | None = None) -> CSRGraph:
+    """``rows x cols`` 4-neighbor lattice; zero triangles.
+
+    Vertex id of cell ``(i, j)`` is ``i * cols + j`` — row-major ids
+    give contiguous 1D partitions small cuts, like road networks.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("grid needs positive dimensions")
+    idx = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    horiz = np.column_stack([idx[:, :-1].ravel(), idx[:, 1:].ravel()])
+    vert = np.column_stack([idx[:-1, :].ravel(), idx[1:, :].ravel()])
+    edges = np.concatenate([horiz, vert])
+    return from_edges(edges, num_vertices=rows * cols, name=name or f"grid{rows}x{cols}")
+
+
+def triangular_lattice(rows: int, cols: int, *, name: str | None = None) -> CSRGraph:
+    """Grid lattice plus one diagonal per cell: ``2 (rows-1)(cols-1)`` triangles.
+
+    Each unit square gains the ``(i, j) - (i+1, j+1)`` diagonal, which
+    splits it into two triangles.  A good stand-in for road networks
+    that still exercises the triangle-counting pipeline end to end.
+    """
+    base = grid2d(rows, cols)
+    idx = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    diag = np.column_stack([idx[:-1, :-1].ravel(), idx[1:, 1:].ravel()])
+    edges = np.concatenate([base.undirected_edges(), diag])
+    return from_edges(edges, num_vertices=rows * cols, name=name or f"trigrid{rows}x{cols}")
+
+
+def barbell(k: int, bridge: int = 0, *, name: str | None = None) -> CSRGraph:
+    """Two ``K_k`` cliques joined by a path of ``bridge`` extra vertices.
+
+    Exactly ``2 * C(k, 3)`` triangles; with ids laid out clique-first
+    this graph makes cut structure obvious in partition tests.
+    """
+    if k < 1:
+        raise ValueError("barbell needs k >= 1")
+    left = complete_graph(k).undirected_edges()
+    right = complete_graph(k).undirected_edges() + k + bridge
+    chain_ids = np.concatenate(
+        [[k - 1], np.arange(k, k + bridge, dtype=np.int64), [k + bridge]]
+    )
+    chain = np.column_stack([chain_ids[:-1], chain_ids[1:]])
+    edges = np.concatenate([left, right, chain])
+    n = 2 * k + bridge
+    return from_edges(edges, num_vertices=n, name=name or f"barbell{k}+{bridge}")
+
+
+def disjoint_cliques(count: int, k: int, *, name: str | None = None) -> CSRGraph:
+    """``count`` disjoint copies of ``K_k``; ``count * C(k, 3)`` triangles.
+
+    With contiguous ids per clique, a 1D partition into ``count`` parts
+    has an *empty* cut — the pure-local extreme for CETRIC.
+    """
+    if count < 1 or k < 1:
+        raise ValueError("need positive count and k")
+    base = complete_graph(k).undirected_edges()
+    parts = [base + i * k for i in range(count)]
+    edges = np.concatenate(parts) if parts else np.empty((0, 2), dtype=np.int64)
+    return from_edges(edges, num_vertices=count * k, name=name or f"{count}xK{k}")
+
+
+def wheel(n: int, *, name: str | None = None) -> CSRGraph:
+    """Wheel ``W_n``: hub 0 plus cycle of ``n - 1`` rim vertices.
+
+    Exactly ``n - 1`` triangles for ``n >= 5`` (each rim edge forms one
+    with the hub); ``W_4 = K_4`` has 4.
+    """
+    if n < 4:
+        raise ValueError("wheel needs n >= 4")
+    rim = np.arange(1, n, dtype=np.int64)
+    spokes = np.column_stack([np.zeros(n - 1, dtype=np.int64), rim])
+    cyc = np.column_stack([rim, np.roll(rim, -1)])
+    return from_edges(np.concatenate([spokes, cyc]), num_vertices=n, name=name or f"W{n}")

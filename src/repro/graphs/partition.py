@@ -1,0 +1,128 @@
+"""1D (ID-range) vertex partitioning.
+
+The machine model (paper Section II-B) assigns each PE a *contiguous
+range* of vertex ids: vertices are globally ordered among processors,
+so ``rank(v) < rank(w)`` implies ``v < w``.  A partition is therefore
+fully described by ``p + 1`` boundary ids.
+
+Two strategies are provided:
+
+* :func:`partition_by_vertices` — equal vertex counts (the plain ID
+  partitioning of the paper);
+* :func:`partition_by_edges` — boundaries chosen on the degree prefix
+  sum so PEs own roughly equal numbers of *edges*, the simple
+  degree-based balancing the paper discusses (Section IV-D, Load
+  Balancing) as a preprocessing-time alternative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = ["Partition", "partition_by_vertices", "partition_by_edges"]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A contiguous 1D partition of vertices ``0..n-1`` over ``p`` PEs.
+
+    PE ``i`` owns the half-open id range
+    ``[bounds[i], bounds[i + 1])``.  Boundaries are non-decreasing with
+    ``bounds[0] == 0`` and ``bounds[p] == n``; empty ranges are legal
+    (e.g. ``p > n``).
+    """
+
+    bounds: np.ndarray
+
+    def __post_init__(self) -> None:
+        b = np.ascontiguousarray(self.bounds, dtype=np.int64)
+        if b.ndim != 1 or b.size < 2:
+            raise ValueError("bounds must be a 1-D array of length p + 1 >= 2")
+        if b[0] != 0 or np.any(np.diff(b) < 0):
+            raise ValueError("bounds must start at 0 and be non-decreasing")
+        object.__setattr__(self, "bounds", b)
+
+    @property
+    def num_pes(self) -> int:
+        """Number of processing elements ``p``."""
+        return self.bounds.size - 1
+
+    @property
+    def num_vertices(self) -> int:
+        """Total number of vertices ``n``."""
+        return int(self.bounds[-1])
+
+    def owner_range(self, rank: int) -> tuple[int, int]:
+        """The ``[lo, hi)`` vertex-id range owned by PE ``rank``."""
+        return int(self.bounds[rank]), int(self.bounds[rank + 1])
+
+    def owned_count(self, rank: int) -> int:
+        """``|V_i|`` for PE ``rank``."""
+        lo, hi = self.owner_range(rank)
+        return hi - lo
+
+    def rank_of(self, vertices) -> np.ndarray:
+        """Vectorized ``rank(v)`` for an array of vertex ids.
+
+        Because ownership ranges are sorted, ownership lookup is a
+        single :func:`numpy.searchsorted` — the same O(log p) lookup
+        the paper's ID partitioning affords each PE.
+        """
+        v = np.asarray(vertices, dtype=np.int64)
+        if v.size and (v.min() < 0 or v.max() >= self.num_vertices):
+            raise ValueError("vertex id out of range")
+        return np.searchsorted(self.bounds, v, side="right") - 1
+
+    def rank_of_one(self, v: int) -> int:
+        """Scalar convenience wrapper around :meth:`rank_of`."""
+        return int(self.rank_of(np.array([v]))[0])
+
+    def is_local(self, rank: int, vertices) -> np.ndarray:
+        """Vectorized membership test ``v in V_rank``."""
+        v = np.asarray(vertices, dtype=np.int64)
+        lo, hi = self.owner_range(rank)
+        return (v >= lo) & (v < hi)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Partition(p={self.num_pes}, n={self.num_vertices})"
+
+
+def partition_by_vertices(num_vertices: int, num_pes: int) -> Partition:
+    """Split ``0..n-1`` into ``p`` ranges of (almost) equal size.
+
+    The first ``n mod p`` PEs receive one extra vertex, matching the
+    usual block distribution.
+    """
+    if num_pes < 1:
+        raise ValueError("need at least one PE")
+    if num_vertices < 0:
+        raise ValueError("num_vertices must be non-negative")
+    base, extra = divmod(num_vertices, num_pes)
+    sizes = np.full(num_pes, base, dtype=np.int64)
+    sizes[:extra] += 1
+    bounds = np.zeros(num_pes + 1, dtype=np.int64)
+    np.cumsum(sizes, out=bounds[1:])
+    return Partition(bounds)
+
+
+def partition_by_edges(graph: CSRGraph, num_pes: int) -> Partition:
+    """Choose boundaries so PEs own roughly equal numbers of arcs.
+
+    Boundaries are placed at the ``k/p`` quantiles of the degree prefix
+    sum (``xadj``) — the prefix-sum redistribution of Arifuzzaman et
+    al. that the paper evaluates in its load-balancing discussion.
+    """
+    if num_pes < 1:
+        raise ValueError("need at least one PE")
+    n = graph.num_vertices
+    total = graph.num_arcs
+    targets = (np.arange(1, num_pes, dtype=np.float64) * total) / num_pes
+    cut_points = np.searchsorted(graph.xadj[1:], targets, side="left") + 1
+    bounds = np.concatenate([[0], np.minimum(cut_points, n), [n]]).astype(np.int64)
+    # Enforce monotonicity in degenerate cases (e.g. one huge vertex).
+    np.maximum.accumulate(bounds, out=bounds)
+    return Partition(bounds)

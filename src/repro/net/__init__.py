@@ -1,0 +1,71 @@
+"""Simulated distributed-memory machine with the paper's cost model.
+
+* :class:`~repro.net.machine.Machine` — round-robin scheduler for SPMD
+  generator programs;
+* :class:`~repro.net.costmodel.MachineSpec` — alpha-beta constants
+  (presets: SUPERMUC, LAN, CLOUD);
+* :mod:`~repro.net.comm` — collectives built from point-to-point
+  messages (barrier, allreduce, dense & sparse all-to-all);
+* :class:`~repro.net.aggregation.BufferedMessageQueue` — DITRIC's
+  dynamic aggregation with linear memory;
+* :class:`~repro.net.indirect.GridRouter` — 2D-grid indirect delivery.
+"""
+
+from .aggregation import BufferedMessageQueue, Record, unpack_records
+from .comm import (
+    allreduce,
+    alltoallv_dense,
+    barrier,
+    bcast,
+    drain,
+    reduce_to_root,
+    sparse_alltoall,
+)
+from .costmodel import CLOUD, DEFAULT_SPEC, LAN, SUPERMUC, MachineSpec
+from .indirect import ForwardRecord, Grid, GridRouter
+from .machine import (
+    DeadlockError,
+    Machine,
+    MachineResult,
+    OutOfMemoryError,
+    PEContext,
+)
+from .messages import HEADER_WORDS, Message
+from .metrics import PEMetrics, RunMetrics
+from .parallel import ProcessMachine, RemoteDist
+from .trace import TraceEvent, Tracer, render_timeline
+
+__all__ = [
+    "BufferedMessageQueue",
+    "Record",
+    "unpack_records",
+    "allreduce",
+    "alltoallv_dense",
+    "barrier",
+    "bcast",
+    "drain",
+    "reduce_to_root",
+    "sparse_alltoall",
+    "CLOUD",
+    "DEFAULT_SPEC",
+    "LAN",
+    "SUPERMUC",
+    "MachineSpec",
+    "ForwardRecord",
+    "Grid",
+    "GridRouter",
+    "DeadlockError",
+    "Machine",
+    "MachineResult",
+    "OutOfMemoryError",
+    "PEContext",
+    "HEADER_WORDS",
+    "Message",
+    "PEMetrics",
+    "RunMetrics",
+    "ProcessMachine",
+    "RemoteDist",
+    "TraceEvent",
+    "Tracer",
+    "render_timeline",
+]

@@ -1,0 +1,217 @@
+"""Collective operations on the simulated machine.
+
+Implemented purely in terms of point-to-point messages so their cost
+(alpha/beta and message counts) is accounted like any application
+traffic:
+
+* :func:`barrier` — dissemination barrier, ``ceil(log2 p)`` rounds;
+* :func:`reduce_to_root` / :func:`bcast` / :func:`allreduce` — binomial
+  trees, valid for any ``p``;
+* :func:`alltoallv_dense` — the dense irregular exchange (every PE
+  sends to every other PE, empty or not: ``p - 1`` messages each),
+  used by the paper for the ghost-degree exchange;
+* :func:`sparse_alltoall` — the asynchronous sparse all-to-all
+  ([Hoefler & Traff] style, paper Section IV-D): only real
+  communication partners get messages and termination is detected with
+  a barrier once all local sends are posted (the simulation equivalent
+  of NBX's non-blocking barrier);
+* :func:`drain` — consume every pending message of a tag class.
+
+All collectives are generators; call them with ``yield from``.  Every
+PE must enter the same collectives in the same order (the usual MPI
+contract).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable
+
+from .machine import PEContext
+from .messages import Message, Tag
+
+__all__ = [
+    "barrier",
+    "reduce_to_root",
+    "bcast",
+    "allreduce",
+    "alltoallv_dense",
+    "sparse_alltoall",
+    "drain",
+]
+
+#: Words charged for a control message with no payload (the envelope).
+CONTROL_WORDS = 1
+
+
+def barrier(ctx: PEContext) -> Generator[None, None, None]:
+    """Dissemination barrier: ``ceil(log2 p)`` rounds of shifted messages."""
+    p = ctx.num_pes
+    if p == 1:
+        return
+    cid = ctx.new_collective_id()
+    k = 1
+    rnd = 0
+    while k < p:
+        tag = ("barrier", cid, rnd)
+        ctx.send((ctx.rank + k) % p, tag, None, CONTROL_WORDS)
+        yield from ctx.recv(tag)
+        k <<= 1
+        rnd += 1
+
+
+def reduce_to_root(
+    ctx: PEContext,
+    value: Any,
+    op: Callable[[Any, Any], Any],
+    *,
+    words: int = 1,
+) -> Generator[None, None, Any]:
+    """Binomial-tree reduction to PE 0; returns the result on PE 0.
+
+    ``op`` must be commutative and associative.  ``words`` is the
+    payload size of one partial value.
+    """
+    p = ctx.num_pes
+    cid = ctx.new_collective_id()
+    tag = ("reduce", cid)
+    acc = value
+    mask = 1
+    while mask < p:
+        if ctx.rank & mask:
+            ctx.send(ctx.rank - mask, tag, acc, words)
+            return None
+        src = ctx.rank + mask
+        if src < p:
+            msg = yield from ctx.recv(tag)
+            acc = op(acc, msg.payload)
+        mask <<= 1
+    return acc
+
+
+def bcast(
+    ctx: PEContext, value: Any, *, words: int = 1
+) -> Generator[None, None, Any]:
+    """Binomial-tree broadcast from PE 0; returns the value everywhere."""
+    p = ctx.num_pes
+    cid = ctx.new_collective_id()
+    tag = ("bcast", cid)
+    rank = ctx.rank
+    if rank != 0:
+        parent = rank - (1 << (rank.bit_length() - 1))
+        msg = yield from ctx.recv(tag)
+        assert msg.src == parent, "binomial tree violated"
+        value = msg.payload
+    k = rank.bit_length()  # children are rank + 2^k for 2^k > rank
+    while True:
+        child = rank + (1 << k)
+        if child >= p:
+            break
+        ctx.send(child, tag, value, words)
+        k += 1
+    return value
+
+
+def allreduce(
+    ctx: PEContext,
+    value: Any,
+    op: Callable[[Any, Any], Any],
+    *,
+    words: int = 1,
+) -> Generator[None, None, Any]:
+    """Reduce to root then broadcast — result available on every PE."""
+    total = yield from reduce_to_root(ctx, value, op, words=words)
+    return (yield from bcast(ctx, total, words=words))
+
+
+def alltoallv_dense(
+    ctx: PEContext,
+    payloads: dict[int, tuple[Any, int]],
+    *,
+    tag_label: str = "a2a",
+) -> Generator[None, None, list[Message]]:
+    """Dense irregular all-to-all: one message to *every* other PE.
+
+    ``payloads`` maps destination rank to ``(payload, words)``; ranks
+    missing from the dict still receive an (empty) control message —
+    that p-1-messages-per-PE behaviour is exactly what makes the dense
+    exchange expensive at scale and what the sparse variant avoids.
+    Data addressed to self is returned locally without a message.
+
+    Returns all ``p - 1`` received messages (plus the self payload, if
+    present, as a synthetic message).
+    """
+    p = ctx.num_pes
+    cid = ctx.new_collective_id()
+    tag = (tag_label, cid)
+    received: list[Message] = []
+    for dest in range(p):
+        if dest == ctx.rank:
+            continue
+        payload, words = payloads.get(dest, (None, 0))
+        ctx.send(dest, tag, payload, max(int(words), CONTROL_WORDS))
+    if ctx.rank in payloads:
+        payload, words = payloads[ctx.rank]
+        received.append(
+            Message(
+                src=ctx.rank,
+                dest=ctx.rank,
+                tag=tag,
+                payload=payload,
+                words=int(words),
+                send_time=ctx.clock,
+            )
+        )
+    need = p - 1
+    while need > 0:
+        msg = yield from ctx.recv(tag)
+        received.append(msg)
+        need -= 1
+    return received
+
+
+def sparse_alltoall(
+    ctx: PEContext,
+    payloads: Iterable[tuple[int, Any, int]],
+    *,
+    tag_label: str = "sparse-a2a",
+) -> Generator[None, None, list[Message]]:
+    """Asynchronous sparse all-to-all with barrier termination detection.
+
+    ``payloads`` yields ``(dest, payload, words)`` triples; only actual
+    communication partners receive messages.  After all local sends are
+    posted, a barrier establishes that *every* PE has posted all its
+    sends (the simulation analogue of NBX's non-blocking barrier), so
+    the inbox can be drained to completion.
+
+    Self-addressed payloads are returned locally without a message.
+    """
+    cid = ctx.new_collective_id()
+    tag = (tag_label, cid)
+    received: list[Message] = []
+    for dest, payload, words in payloads:
+        if dest == ctx.rank:
+            received.append(
+                Message(
+                    src=ctx.rank,
+                    dest=ctx.rank,
+                    tag=tag,
+                    payload=payload,
+                    words=int(words),
+                    send_time=ctx.clock,
+                )
+            )
+            continue
+        ctx.send(dest, tag, payload, int(words))
+    yield from barrier(ctx)
+    received.extend(drain(ctx, tag))
+    return received
+
+
+def drain(ctx: PEContext, tag: Tag) -> list[Message]:
+    """Consume and return every pending message with ``tag``."""
+    out: list[Message] = []
+    while True:
+        msg = ctx.try_recv(tag)
+        if msg is None:
+            return out
+        out.append(msg)

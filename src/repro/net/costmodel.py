@@ -1,0 +1,89 @@
+"""The alpha-beta communication cost model (paper Section II-B).
+
+The paper analyzes its algorithms on a machine with full-duplex,
+single-ported communication where sending a message of ``l`` machine
+words costs ``alpha + beta * l`` — ``alpha`` is the startup/latency
+term the aggregation and indirection techniques attack, ``beta`` the
+per-word bandwidth term the contraction technique attacks.
+
+:class:`MachineSpec` fixes the constants.  Local computation is charged
+per *operation* (one merge comparison, one hash probe, ...) at
+``flop_time`` seconds, so modelled running times combine computation
+and communication on one axis exactly like the paper's measured times.
+
+Presets
+-------
+``SUPERMUC``
+    Approximates the paper's testbed: OmniPath with ~2 microsecond MPI
+    latency and 100 Gbit/s links; local compute at an effective
+    1 Gops/s per core for the scalar-equivalent merge work.
+``CLOUD``
+    A high-latency / low-bandwidth setting (the environment where the
+    paper *expects* CETRIC to beat DITRIC, Section V-E).
+``LAN``
+    Commodity cluster: in between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineSpec", "SUPERMUC", "CLOUD", "LAN", "DEFAULT_SPEC"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Constants of the simulated machine.
+
+    Attributes
+    ----------
+    alpha:
+        Message startup cost in seconds (charged per message at both
+        endpoints — single-ported model).
+    beta:
+        Per-machine-word (8 byte) transmission time in seconds.
+    flop_time:
+        Seconds per charged local operation.
+    memory_words:
+        Per-PE memory budget in machine words; algorithms with static
+        buffering (TriC-like) fail when they exceed it, reproducing the
+        out-of-memory behaviour the paper reports.
+    name:
+        Preset label for reports.
+    """
+
+    alpha: float = 2.0e-6
+    beta: float = 6.4e-10
+    flop_time: float = 1.0e-9
+    memory_words: int = 12_000_000_000 // 8  # 96 GB / node / 8 B, as on SuperMUC-NG
+    name: str = "custom"
+
+    def message_time(self, words: int) -> float:
+        """Cost of one message of ``words`` machine words: ``alpha + beta*l``."""
+        return self.alpha + self.beta * float(words)
+
+    def compute_time(self, ops: int) -> float:
+        """Cost of ``ops`` charged local operations."""
+        return self.flop_time * float(ops)
+
+    def scaled(self, **overrides) -> "MachineSpec":
+        """A copy with selected constants replaced (ablation helper)."""
+        from dataclasses import replace
+
+        return replace(self, **overrides)
+
+
+#: The paper's testbed (SuperMUC-NG thin nodes, OmniPath 100 Gbit/s).
+SUPERMUC = MachineSpec(
+    alpha=2.0e-6, beta=6.4e-10, flop_time=1.0e-9, name="supermuc-ng"
+)
+
+#: Commodity cluster with 10 GbE-class latency/bandwidth.
+LAN = MachineSpec(alpha=2.0e-5, beta=6.4e-9, flop_time=1.0e-9, name="lan")
+
+#: Cloud environment: high latency, modest bandwidth (Section V-E's
+#: "slower network interconnects" where contraction should pay off).
+CLOUD = MachineSpec(alpha=1.0e-4, beta=2.0e-8, flop_time=1.0e-9, name="cloud")
+
+#: Default used throughout benchmarks unless stated otherwise.
+DEFAULT_SPEC = SUPERMUC

@@ -1,0 +1,158 @@
+"""Grid-based indirect message delivery (paper Section IV-B, Fig. 3).
+
+PEs are arranged in a logical 2D grid with
+``cols = floor(sqrt(p) + 1/2)`` columns (round to nearest integer) and
+``ceil(p / cols)`` rows; the last row may be partially filled.  A
+message from ``P_{i,j}`` to ``P_{k,l}`` first travels along row ``i``
+to the *proxy* ``P_{i,l}``, which forwards it along column ``l``.
+Every PE then has only ``O(sqrt(p))`` communication partners, cutting
+the startup-dominated cost of many small messages at the price of (at
+most) doubling the volume.
+
+When the sender sits in the partial last row and the natural proxy
+``P_{i,l}`` does not exist, the paper transposes the last row and
+appends it as a column on the right: sender ``P_{i',j'}`` is treated as
+occupying virtual position ``(j', cols)``, so its proxy becomes
+``P_{j',l}`` — always a valid PE (row ``j'`` is full because only the
+last row is partial).
+
+:class:`GridRouter` pairs the scheme with the aggregation queue of
+:mod:`repro.net.aggregation`: row-hop messages aggregate per proxy, the
+proxy re-aggregates everything bound for the same final destination
+(the "all messages from a processor row designated to P_{k,l} get
+aggregated at the proxy" effect), and the threshold keeps memory
+linear.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Generator
+
+from .aggregation import BufferedMessageQueue, Record
+from .machine import PEContext
+from .messages import Tag
+
+__all__ = ["Grid", "GridRouter", "ForwardRecord"]
+
+
+@dataclass(frozen=True)
+class Grid:
+    """The logical 2D arrangement of ``p`` PEs."""
+
+    num_pes: int
+    cols: int
+
+    @classmethod
+    def of(cls, num_pes: int) -> "Grid":
+        """Grid with ``floor(sqrt(p) + 1/2)`` columns (paper's rounding)."""
+        if num_pes < 1:
+            raise ValueError("need at least one PE")
+        cols = max(1, int(math.floor(math.sqrt(num_pes) + 0.5)))
+        return cls(num_pes=num_pes, cols=cols)
+
+    @property
+    def rows(self) -> int:
+        """Number of grid rows (last one possibly partial)."""
+        return -(-self.num_pes // self.cols)
+
+    def position(self, rank: int) -> tuple[int, int]:
+        """Grid coordinates ``(row, col)`` of a PE."""
+        if not (0 <= rank < self.num_pes):
+            raise ValueError(f"invalid rank {rank}")
+        return divmod(rank, self.cols)
+
+    def rank_at(self, row: int, col: int) -> int:
+        """PE id at grid coordinates (must exist)."""
+        rank = row * self.cols + col
+        if not (0 <= col < self.cols and 0 <= rank < self.num_pes):
+            raise ValueError(f"no PE at ({row}, {col})")
+        return rank
+
+    def proxy(self, src: int, dest: int) -> int:
+        """The intermediate hop for a ``src -> dest`` message.
+
+        Returns ``dest`` itself when no intermediate hop is needed
+        (same row, same column, or the proxy coincides with either
+        endpoint).
+        """
+        si, sj = self.position(src)
+        di, dj = self.position(dest)
+        if si == di or sj == dj:
+            return dest
+        candidate = si * self.cols + dj
+        if candidate >= self.num_pes:
+            # Partial-last-row fix: treat src as sitting at the virtual
+            # transposed position (sj, cols); proxy along that row.
+            candidate = sj * self.cols + dj
+        if candidate in (src, dest):
+            return dest
+        return candidate
+
+
+@dataclass(frozen=True)
+class ForwardRecord:
+    """A record wrapped with its final destination for the row hop.
+
+    The extra destination field costs one machine word on the wire.
+    """
+
+    final_dest: int
+    record: Record
+
+    @property
+    def words(self) -> int:
+        """Wire size: the inner record plus the routing word."""
+        return self.record.words + 1
+
+
+class GridRouter:
+    """Two-hop aggregated routing over the logical grid.
+
+    Drop-in alternative to a plain :class:`BufferedMessageQueue` for
+    one-shot exchanges: ``post`` during the send phase, then a single
+    collective :meth:`finalize` flushes, lets proxies forward, and
+    returns the records addressed to this PE.
+    """
+
+    def __init__(self, ctx: PEContext, tag: Tag, threshold_words: int):
+        self.ctx = ctx
+        self.grid = Grid.of(ctx.num_pes)
+        self._row_tag: Tag = ("grid-row", tag)
+        self._col_tag: Tag = ("grid-col", tag)
+        self._row_queue = BufferedMessageQueue(ctx, self._row_tag, threshold_words)
+        self._col_queue = BufferedMessageQueue(ctx, self._col_tag, threshold_words)
+
+    @property
+    def records_posted(self) -> int:
+        """Application records posted at this PE (not counting forwards)."""
+        return self._row_queue.records_posted
+
+    def post(self, dest: int, record: Record) -> None:
+        """Route a record towards ``dest`` via its row proxy."""
+        hop = self.grid.proxy(self.ctx.rank, dest)
+        if hop == dest:
+            # Direct: no intermediate hop (same row/col or degenerate);
+            # send on the column queue so it is not mistaken for a
+            # forwardable row message.
+            self._col_queue.post(dest, record)
+        else:
+            self._row_queue.post(hop, ForwardRecord(final_dest=dest, record=record))
+
+    def finalize(self) -> Generator[None, None, list[Record]]:
+        """Flush, forward at proxies, and return records for this PE.
+
+        Collective.  Two aggregation rounds: row flush + barrier, then
+        each PE re-posts the row records it proxied to their final
+        destinations, column flush + barrier, and a final drain.
+        """
+        row_records = yield from self._row_queue.finalize()
+        for fwd in row_records:
+            if not isinstance(fwd, ForwardRecord):
+                raise TypeError("row hop must carry ForwardRecord")
+            if fwd.final_dest == self.ctx.rank:
+                self._col_queue._local.append(fwd.record)
+            else:
+                self._col_queue.post(fwd.final_dest, fwd.record)
+        return (yield from self._col_queue.finalize())

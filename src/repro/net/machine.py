@@ -1,0 +1,295 @@
+"""The simulated distributed-memory machine.
+
+``p`` PEs execute SPMD programs written as Python *generators*: a
+program does local work, posts messages, and ``yield``\\ s whenever it
+wants the rest of the machine to make progress (the moral equivalent of
+the paper's "each PE continuously polls for incoming messages").  The
+:class:`Machine` schedules the generators round-robin until all have
+finished.
+
+Time is *modelled*, not measured: each PE owns a simulated clock that
+advances by ``flop_time`` per charged local operation and by
+``alpha + beta * l`` per message endpoint, per the cost model of
+Section II-B.  Messages carry the sender's completion time; consuming a
+message fast-forwards the receiver's clock to at least that timestamp
+(causal ordering).  The modelled running time of a run is the maximum
+final clock over PEs — the same "slowest processor" notion as the
+paper's measured wall times.
+
+Determinism: scheduling is strict round-robin, inboxes are FIFO per
+(tag) class, and nothing consults real time or unseeded randomness, so
+a run is a pure function of (program, inputs, spec).
+
+Writing programs
+----------------
+A *program factory* is ``factory(ctx, **kwargs) -> generator``.  Inside
+the generator:
+
+* ``ctx.charge(ops[, phase])`` — account local work;
+* ``ctx.send(dest, tag, payload, words)`` — non-blocking send;
+* ``ctx.try_recv(tag)`` — non-blocking receive (``None`` if empty);
+* ``yield from ctx.recv(tag)`` — blocking receive;
+* ``yield`` — bare progress point inside long local sections;
+* ``return value`` — the PE's result, collected by ``Machine.run``.
+
+Collectives (barrier, allreduce, alltoallv, sparse all-to-all) live in
+:mod:`repro.net.comm` and are used with ``yield from``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+from .costmodel import DEFAULT_SPEC, MachineSpec
+from .messages import Message, Tag
+from .metrics import PEMetrics, RunMetrics
+
+__all__ = ["Machine", "PEContext", "MachineResult", "DeadlockError", "OutOfMemoryError"]
+
+
+class DeadlockError(RuntimeError):
+    """All live PEs are idle, no messages are pending — nothing can progress."""
+
+
+class OutOfMemoryError(RuntimeError):
+    """A PE exceeded the per-PE memory budget of the machine spec.
+
+    Raised by algorithms with static buffering (the TriC-like baseline)
+    to reproduce the out-of-memory failures the paper reports.
+    """
+
+
+class PEContext:
+    """Per-PE handle: clock, counters, message endpoints.
+
+    Instances are created by :class:`Machine`; programs receive one and
+    must not touch any other PE's context (that would be shared-memory
+    cheating — the tests patrol this by construction of the API).
+    """
+
+    def __init__(self, rank: int, num_pes: int, spec: MachineSpec, machine: "Machine"):
+        self.rank = rank
+        self.num_pes = num_pes
+        self.spec = spec
+        self.metrics = PEMetrics(rank=rank)
+        self._machine = machine
+        self._inbox: dict[Tag, deque[Message]] = defaultdict(deque)
+        self._collective_seq = 0
+        self._phase_stack: list[tuple[str, float]] = []
+
+    # ------------------------------------------------------------------
+    # Clock / work accounting
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> float:
+        """This PE's simulated time in seconds."""
+        return self.metrics.clock
+
+    def charge(self, ops: int) -> None:
+        """Account ``ops`` local operations (merge comparisons etc.)."""
+        if ops < 0:
+            raise ValueError("ops must be non-negative")
+        self.metrics.local_ops += int(ops)
+        self.metrics.clock += self.spec.compute_time(int(ops))
+        self._machine._note_progress()
+
+    def charge_time(self, seconds: float) -> None:
+        """Advance the clock directly (hybrid-executor support)."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        self.metrics.clock += seconds
+        self._machine._note_progress()
+
+    @contextmanager
+    def phase(self, name: str):
+        """Attribute simulated time spent inside the block to ``name``.
+
+        Nested phases attribute to the innermost name only.
+        """
+        start = self.metrics.clock
+        self._phase_stack.append((name, start))
+        try:
+            yield
+        finally:
+            self._phase_stack.pop()
+            self.metrics.phase_times[name] += self.metrics.clock - start
+            tracer = getattr(self._machine, "tracer", None)
+            if tracer is not None:
+                tracer.phase(self.rank, name, start, self.metrics.clock)
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def send(self, dest: int, tag: Tag, payload: Any, words: int) -> None:
+        """Non-blocking send; the sender pays ``alpha + beta * words`` now.
+
+        Matches the paper's use of non-blocking MPI sends: the cost of
+        injecting the message is charged to the sender, and the message
+        becomes visible to the receiver no earlier than the sender's
+        post-send clock.
+        """
+        if not (0 <= dest < self.num_pes):
+            raise ValueError(f"invalid destination rank {dest}")
+        if words < 0:
+            raise ValueError("words must be non-negative")
+        self.metrics.clock += self.spec.message_time(words)
+        self.metrics.messages_sent += 1
+        self.metrics.words_sent += int(words)
+        msg = Message(
+            src=self.rank,
+            dest=dest,
+            tag=tag,
+            payload=payload,
+            words=int(words),
+            send_time=self.metrics.clock,
+        )
+        tracer = getattr(self._machine, "tracer", None)
+        if tracer is not None:
+            tracer.send(self.metrics.clock, self.rank, dest, tag, int(words))
+        self._machine._deliver(msg)
+
+    def try_recv(self, tag: Tag) -> Message | None:
+        """Consume the oldest pending message with ``tag``, if any.
+
+        Consuming pays the receiver-side ``alpha + beta * words`` and
+        fast-forwards the clock to the message's causal timestamp.
+        """
+        q = self._inbox.get(tag)
+        if not q:
+            return None
+        msg = q.popleft()
+        self.metrics.clock = max(self.metrics.clock, msg.send_time)
+        self.metrics.clock += self.spec.message_time(msg.words)
+        self.metrics.messages_received += 1
+        self.metrics.words_received += msg.words
+        tracer = getattr(self._machine, "tracer", None)
+        if tracer is not None:
+            tracer.recv(self.metrics.clock, self.rank, msg.src, msg.tag, msg.words)
+        self._machine._note_progress()
+        return msg
+
+    def recv(self, tag: Tag) -> Generator[None, None, Message]:
+        """Blocking receive: poll (yielding) until a message arrives."""
+        while True:
+            msg = self.try_recv(tag)
+            if msg is not None:
+                return msg
+            yield
+
+    def pending(self, tag: Tag) -> int:
+        """Number of queued messages with ``tag`` (no cost)."""
+        q = self._inbox.get(tag)
+        return len(q) if q else 0
+
+    def new_collective_id(self) -> int:
+        """Monotone per-PE counter keying collective operations.
+
+        All PEs enter collectives in the same program order (an MPI
+        requirement the algorithms obey), so equal counters identify
+        the same logical collective across PEs.
+        """
+        self._collective_seq += 1
+        return self._collective_seq
+
+    def check_memory(self, words: int, *, what: str = "buffer") -> None:
+        """Raise :class:`OutOfMemoryError` if ``words`` exceeds the budget."""
+        if words > self.spec.memory_words:
+            raise OutOfMemoryError(
+                f"PE {self.rank}: {what} of {words} words exceeds the "
+                f"per-PE budget of {self.spec.memory_words} words"
+            )
+
+
+@dataclass
+class MachineResult:
+    """Everything a simulated run produced."""
+
+    #: Per-PE return values of the SPMD program.
+    values: list[Any]
+    metrics: RunMetrics
+
+    @property
+    def time(self) -> float:
+        """Modelled running time (slowest PE)."""
+        return self.metrics.makespan
+
+
+class Machine:
+    """Round-robin scheduler for ``p`` PE programs with message passing."""
+
+    def __init__(self, num_pes: int, spec: MachineSpec = DEFAULT_SPEC, *, tracer=None):
+        if num_pes < 1:
+            raise ValueError("need at least one PE")
+        self.num_pes = num_pes
+        self.spec = spec
+        #: Optional :class:`repro.net.trace.Tracer` receiving all events.
+        self.tracer = tracer
+        self._contexts: list[PEContext] = []
+        self._progress = 0
+
+    # Internal hooks -----------------------------------------------------
+    def _deliver(self, msg: Message) -> None:
+        self._contexts[msg.dest]._inbox[msg.tag].append(msg)
+        self._note_progress()
+
+    def _note_progress(self) -> None:
+        self._progress += 1
+
+    # Public API ---------------------------------------------------------
+    def run(
+        self,
+        program: Callable[..., Generator[None, None, Any]],
+        /,
+        *args,
+        **kwargs,
+    ) -> MachineResult:
+        """Execute ``program(ctx, *args, **kwargs)`` on every PE.
+
+        ``args``/``kwargs`` may contain per-PE sequences only if the
+        program indexes them by ``ctx.rank`` itself; the machine passes
+        them through verbatim.
+
+        Raises
+        ------
+        DeadlockError
+            If a full scheduling round completes with live PEs but no
+            progress (no sends, receives, charges, or completions).
+        """
+        self._contexts = [
+            PEContext(rank, self.num_pes, self.spec, self) for rank in range(self.num_pes)
+        ]
+        gens = [program(ctx, *args, **kwargs) for ctx in self._contexts]
+        values: list[Any] = [None] * self.num_pes
+        live = set(range(self.num_pes))
+
+        idle_rounds = 0
+        while live:
+            before = self._progress
+            finished: list[int] = []
+            for rank in sorted(live):
+                try:
+                    next(gens[rank])
+                except StopIteration as stop:
+                    values[rank] = stop.value
+                    finished.append(rank)
+                    self._note_progress()
+            live.difference_update(finished)
+            if self._progress == before:
+                # A courtesy ``yield`` produces one idle round; genuine
+                # deadlock (everyone polling an empty inbox) produces
+                # idle rounds forever.  A small grace period separates
+                # the two without masking real livelocks.
+                idle_rounds += 1
+                if live and idle_rounds >= 5:
+                    raise DeadlockError(
+                        f"no progress in {idle_rounds} consecutive rounds; "
+                        f"waiting PEs: {sorted(live)}"
+                    )
+            else:
+                idle_rounds = 0
+        return MachineResult(
+            values=values, metrics=RunMetrics(per_pe=[c.metrics for c in self._contexts])
+        )

@@ -1,0 +1,65 @@
+"""Message envelopes for the simulated network.
+
+A message is point-to-point, tagged, and carries an arbitrary payload
+plus its size in machine words.  The *words* field is what the cost
+model and the volume metrics consume; payload objects themselves are
+never serialized (this is a simulation — what matters is that the
+algorithms only read payloads they were sent).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+__all__ = ["Message", "Tag", "HEADER_WORDS"]
+
+#: Hashable message tag; algorithms use strings or (string, int) pairs.
+Tag = Hashable
+
+#: Envelope overhead charged per application-level record inside an
+#: aggregated message: the vertex id and the neighborhood length.
+HEADER_WORDS = 2
+
+_seq = itertools.count()
+
+
+@dataclass(frozen=True)
+class Message:
+    """One in-flight or delivered message.
+
+    Attributes
+    ----------
+    src, dest:
+        PE ranks.  For indirectly routed traffic these are the *hop*
+        endpoints; the application payload carries the final
+        destination.
+    tag:
+        Routing key used by receivers to select message classes.
+    payload:
+        Arbitrary Python object (records, arrays, scalars).
+    words:
+        Size in machine words charged to the cost model.
+    send_time:
+        Sender's simulated clock when the send *completed* — the
+        earliest moment the receiver can observe the message
+        (causal timestamp).
+    seq:
+        Global monotonically increasing id; keeps delivery order
+        deterministic.
+    """
+
+    src: int
+    dest: int
+    tag: Tag
+    payload: Any
+    words: int
+    send_time: float
+    seq: int = field(default_factory=lambda: next(_seq))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Message({self.src}->{self.dest}, tag={self.tag!r}, "
+            f"words={self.words}, t={self.send_time:.3e})"
+        )

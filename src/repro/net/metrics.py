@@ -1,0 +1,114 @@
+"""Per-PE and aggregated run metrics.
+
+The paper's plots report, besides running time, the *maximum number of
+outgoing messages over all PEs* and the *bottleneck communication
+volume* (Fig. 5's lower panels).  These counters are maintained by the
+simulated network; "bottleneck" aggregations are max-over-PEs as in the
+paper.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["PEMetrics", "RunMetrics"]
+
+
+@dataclass
+class PEMetrics:
+    """Counters for one PE."""
+
+    rank: int
+    #: Simulated wall clock (seconds) of this PE.
+    clock: float = 0.0
+    messages_sent: int = 0
+    messages_received: int = 0
+    words_sent: int = 0
+    words_received: int = 0
+    #: Charged local operations (merge comparisons, hash probes, ...).
+    local_ops: int = 0
+    #: Largest number of words ever held in aggregation buffers.
+    peak_buffer_words: int = 0
+    #: Simulated seconds attributed to named phases.
+    phase_times: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+
+    def note_buffer(self, words: int) -> None:
+        """Record an aggregation-buffer high-water mark."""
+        if words > self.peak_buffer_words:
+            self.peak_buffer_words = words
+
+
+@dataclass
+class RunMetrics:
+    """Aggregated view over all PEs of one simulated run."""
+
+    per_pe: list[PEMetrics]
+
+    @property
+    def num_pes(self) -> int:
+        """Number of PEs in the run."""
+        return len(self.per_pe)
+
+    @property
+    def makespan(self) -> float:
+        """Modelled running time: the slowest PE's clock."""
+        return max((m.clock for m in self.per_pe), default=0.0)
+
+    @property
+    def max_messages_sent(self) -> int:
+        """Paper metric: max #outgoing messages over all PEs."""
+        return max((m.messages_sent for m in self.per_pe), default=0)
+
+    @property
+    def bottleneck_volume(self) -> int:
+        """Paper metric: max over PEs of words sent."""
+        return max((m.words_sent for m in self.per_pe), default=0)
+
+    @property
+    def total_volume(self) -> int:
+        """Total words sent across the whole machine."""
+        return sum(m.words_sent for m in self.per_pe)
+
+    @property
+    def total_messages(self) -> int:
+        """Total messages sent across the whole machine."""
+        return sum(m.messages_sent for m in self.per_pe)
+
+    @property
+    def total_ops(self) -> int:
+        """Total charged local operations."""
+        return sum(m.local_ops for m in self.per_pe)
+
+    @property
+    def max_peak_buffer_words(self) -> int:
+        """Max aggregation-buffer high-water mark over PEs (memory claim)."""
+        return max((m.peak_buffer_words for m in self.per_pe), default=0)
+
+    def phase_breakdown(self) -> dict[str, float]:
+        """Per-phase modelled time: max over PEs of each phase's time.
+
+        Matches Fig. 7's stacked bars, which decompose the *critical
+        path* of each run into preprocessing / local / global phases.
+        """
+        phases: dict[str, float] = {}
+        for m in self.per_pe:
+            for name, t in m.phase_times.items():
+                phases[name] = max(phases.get(name, 0.0), t)
+        return phases
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict for tables / dataframes."""
+        out = {
+            "num_pes": self.num_pes,
+            "time": self.makespan,
+            "max_messages": self.max_messages_sent,
+            "bottleneck_volume": self.bottleneck_volume,
+            "total_volume": self.total_volume,
+            "total_messages": self.total_messages,
+            "total_ops": self.total_ops,
+            "peak_buffer_words": self.max_peak_buffer_words,
+        }
+        for name, t in sorted(self.phase_breakdown().items()):
+            out[f"phase_{name}"] = t
+        return out

@@ -1,0 +1,175 @@
+"""mpi4py transport: run the SPMD programs under real MPI.
+
+Third execution backend, for actual clusters.  Usage, from an MPI
+launch (``mpiexec -n 8 python my_script.py``)::
+
+    from mpi4py import MPI
+    from repro.net.mpi import mpi_run
+    from repro.core import counting_program, EngineConfig
+    from repro.graphs import generators, distribute
+
+    g = generators.rgg2d(1 << 18, expected_edges=16 << 18, seed=1)
+    dist = distribute(g, num_pes=MPI.COMM_WORLD.Get_size())
+    counts, metrics = mpi_run(counting_program, dist, EngineConfig(contraction=True))
+    if MPI.COMM_WORLD.Get_rank() == 0:
+        print(counts.triangles_total, metrics.words_sent)
+
+Faithfulness notes:
+
+* the repro hint that *per-edge* mpi4py kernels are too slow does not
+  apply here: all hot paths are the same batched NumPy kernels as the
+  other backends, and messages are aggregated records, not per-edge
+  traffic;
+* application tags (arbitrary hashables) are mapped onto MPI's integer
+  tag space with a stable per-run dictionary replicated by identical
+  program order on all ranks — the same property the collectives
+  already rely on;
+* like :class:`~repro.net.parallel.ProcessMachine`, the termination
+  barriers carry over: ``isend`` completion plus the dissemination
+  barrier's happens-before chain ensures drains see all data (the
+  implementation posts receives eagerly through ``iprobe`` pumping).
+
+This module imports mpi4py lazily; everything except :func:`mpi_run`
+is importable (and unit-tested) without it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable
+
+from .costmodel import DEFAULT_SPEC, MachineSpec
+from .machine import PEContext
+
+__all__ = ["TagCodec", "MpiContext", "mpi_run"]
+
+
+class TagCodec:
+    """Stable mapping from hashable application tags to MPI integer tags.
+
+    Both endpoints build the mapping *independently* but in the same
+    order, because every tag is first used inside collectives or
+    protocol phases that all ranks execute in identical program order.
+    To be robust against benign ordering drift, the integer tag is not
+    taken from arrival order but from a deterministic hash of the
+    tag's repr, reduced into the portable MPI tag range.
+    """
+
+    #: Portable upper bound guaranteed by the MPI standard.
+    TAG_UB = 32767
+
+    def __init__(self) -> None:
+        self._known: dict[int, Hashable] = {}
+
+    def encode(self, tag: Hashable) -> int:
+        """Deterministic integer tag; collisions raise loudly."""
+        digest = self._stable_hash(tag)
+        code = digest % (self.TAG_UB - 1) + 1
+        seen = self._known.get(code)
+        if seen is not None and repr(seen) != repr(tag):
+            raise ValueError(
+                f"MPI tag collision between {seen!r} and {tag!r}; "
+                "rename one of the application tags"
+            )
+        self._known[code] = tag
+        return code
+
+    @staticmethod
+    def _stable_hash(tag: Hashable) -> int:
+        import hashlib
+
+        return int.from_bytes(
+            hashlib.blake2b(repr(tag).encode(), digest_size=8).digest(), "big"
+        )
+
+
+class MpiContext(PEContext):
+    """PE context whose transport is mpi4py point-to-point messaging."""
+
+    def __init__(self, comm, spec: MachineSpec):
+        class _Bus:
+            def __init__(self, outer):
+                self._outer = outer
+
+            def _deliver(self, msg):
+                self._outer._isend(msg)
+
+            def _note_progress(self):
+                pass
+
+        super().__init__(comm.Get_rank(), comm.Get_size(), spec, _Bus(self))
+        self._comm = comm
+        self._codec = TagCodec()
+        self._pending_sends: list = []
+
+    def _isend(self, msg) -> None:
+        payload = (msg.tag, msg.payload, msg.words, msg.send_time)
+        req = self._comm.isend(payload, dest=msg.dest, tag=self._codec.encode(msg.tag))
+        self._pending_sends.append(req)
+        # Opportunistically reap completed sends.
+        self._pending_sends = [r for r in self._pending_sends if not r.Test()]
+
+    def _pump(self) -> None:
+        from mpi4py import MPI
+
+        status = MPI.Status()
+        while self._comm.iprobe(source=MPI.ANY_SOURCE, tag=MPI.ANY_TAG, status=status):
+            src = status.Get_source()
+            tag_code = status.Get_tag()
+            payload = self._comm.recv(source=src, tag=tag_code)
+            app_tag, app_payload, words, send_time = payload
+            from repro.net.messages import Message
+
+            self._inbox[app_tag].append(
+                Message(
+                    src=src,
+                    dest=self.rank,
+                    tag=app_tag,
+                    payload=app_payload,
+                    words=words,
+                    send_time=send_time,
+                )
+            )
+
+    def try_recv(self, tag):
+        """Non-blocking receive over MPI (see PEContext)."""
+        self._pump()
+        return super().try_recv(tag)
+
+    def pending(self, tag) -> int:
+        """Queued message count for ``tag`` after probing MPI."""
+        self._pump()
+        return super().pending(tag)
+
+
+def mpi_run(
+    program: Callable,
+    dist,
+    *args,
+    spec: MachineSpec = DEFAULT_SPEC,
+    comm=None,
+    **kwargs,
+) -> tuple[Any, Any]:
+    """Execute one PE of ``program`` under MPI (SPMD: call on every rank).
+
+    Returns ``(value, metrics)`` for the calling rank.  ``dist`` may be
+    a full :class:`~repro.graphs.distributed.DistGraph` (each rank uses
+    its own view) or a :class:`~repro.net.parallel.RemoteDist`.
+    """
+    from mpi4py import MPI  # noqa: F401  (import error = no MPI available)
+
+    world = comm if comm is not None else MPI.COMM_WORLD
+    ctx = MpiContext(world, spec)
+    if dist.num_pes != ctx.num_pes:
+        raise ValueError(
+            f"distribution has {dist.num_pes} parts but MPI world has {ctx.num_pes}"
+        )
+    gen = program(ctx, dist, *args, **kwargs)
+    try:
+        while True:
+            next(gen)
+    except StopIteration as stop:
+        value = stop.value
+    # Drain outstanding sends before returning.
+    for req in ctx._pending_sends:
+        req.wait()
+    return value, ctx.metrics

@@ -1,0 +1,97 @@
+"""Optional event tracing for simulated runs.
+
+Attach a :class:`Tracer` to a :class:`~repro.net.machine.Machine` and
+every send, receive, and phase transition is recorded with its
+simulated timestamp — the raw material for debugging protocols
+(who sent what to whom, and when) and for the timeline rendering of
+:func:`render_timeline`.
+
+Tracing is strictly opt-in and costs nothing when absent (a single
+``is None`` test per event).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+__all__ = ["TraceEvent", "Tracer", "render_timeline"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event.
+
+    ``kind`` is ``"send"``, ``"recv"`` or ``"phase"``.  For message
+    events ``peer`` is the other endpoint; for phase events ``tag``
+    holds the phase name and ``words`` the phase duration in seconds
+    scaled by 1e9 (integer nanoseconds) to keep the field integral.
+    """
+
+    kind: str
+    time: float
+    rank: int
+    peer: int
+    tag: Hashable
+    words: int
+
+
+@dataclass
+class Tracer:
+    """Collects trace events; attach via ``Machine(..., tracer=...)``."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def send(self, time: float, src: int, dest: int, tag, words: int) -> None:
+        """Record a message injection."""
+        self.events.append(TraceEvent("send", time, src, dest, tag, words))
+
+    def recv(self, time: float, rank: int, src: int, tag, words: int) -> None:
+        """Record a message consumption."""
+        self.events.append(TraceEvent("recv", time, rank, src, tag, words))
+
+    def phase(self, rank: int, name: str, start: float, end: float) -> None:
+        """Record a completed phase block."""
+        self.events.append(
+            TraceEvent("phase", start, rank, rank, name, int((end - start) * 1e9))
+        )
+
+    # ------------------------------------------------------------ query
+    def messages_between(self, src: int, dest: int) -> list[TraceEvent]:
+        """All sends from ``src`` to ``dest`` in order."""
+        return [e for e in self.events if e.kind == "send" and e.rank == src and e.peer == dest]
+
+    def words_by_tag(self) -> dict[Hashable, int]:
+        """Total sent words per tag class (protocol volume breakdown)."""
+        out: dict[Hashable, int] = {}
+        for e in self.events:
+            if e.kind == "send":
+                out[e.tag] = out.get(e.tag, 0) + e.words
+        return out
+
+    def phase_spans(self, rank: int) -> list[tuple[str, float, float]]:
+        """``(name, start, end)`` phase intervals of one PE."""
+        return [
+            (str(e.tag), e.time, e.time + e.words / 1e9)
+            for e in self.events
+            if e.kind == "phase" and e.rank == rank
+        ]
+
+
+def render_timeline(tracer: Tracer, *, max_events: int = 40) -> str:
+    """A human-readable event log, chronologically ordered."""
+    events = sorted(tracer.events, key=lambda e: (e.time, e.kind))
+    lines = [f"{'time [us]':>12s}  event"]
+    for e in events[:max_events]:
+        t = e.time * 1e6
+        if e.kind == "send":
+            lines.append(f"{t:12.3f}  PE{e.rank} -> PE{e.peer}  {e.words}w  tag={e.tag!r}")
+        elif e.kind == "recv":
+            lines.append(f"{t:12.3f}  PE{e.rank} <- PE{e.peer}  {e.words}w  tag={e.tag!r}")
+        else:
+            lines.append(
+                f"{t:12.3f}  PE{e.rank} phase {e.tag!r} ({e.words / 1e3:.3f} us)"
+            )
+    if len(events) > max_events:
+        lines.append(f"... {len(events) - max_events} more events")
+    return "\n".join(lines)

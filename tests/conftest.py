@@ -1,0 +1,59 @@
+"""Shared fixtures: a zoo of small graphs with known properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.csr import CSRGraph
+
+
+def graph_zoo() -> list[tuple[str, CSRGraph, int]]:
+    """(label, graph, expected triangle count) triples.
+
+    Expected counts are analytic where possible and networkx-verified
+    otherwise (pinned — the generators are deterministic per seed).
+    """
+    return [
+        ("K5", gen.complete_graph(5), 10),
+        ("K8", gen.complete_graph(8), 56),
+        ("C12", gen.ring(12), 0),
+        ("triangle", gen.ring(3), 1),
+        ("W9", gen.wheel(9), 8),
+        ("W4=K4", gen.wheel(4), 4),
+        ("star", gen.star(12), 0),
+        ("path", gen.path(9), 0),
+        ("grid", gen.grid2d(5, 6), 0),
+        ("trigrid", gen.triangular_lattice(5, 5), 2 * 4 * 4),
+        ("barbell", gen.barbell(5, 2), 20),
+        ("cliques", gen.disjoint_cliques(4, 4), 16),
+    ]
+
+
+def random_graph_zoo() -> list[CSRGraph]:
+    """Deterministic random instances of every generator family."""
+    return [
+        gen.gnm(400, 2500, seed=11),
+        gen.rmat(9, 8, seed=12),
+        gen.rgg2d(500, expected_edges=4000, seed=13),
+        gen.rhg(600, avg_degree=10, seed=14),
+    ]
+
+
+@pytest.fixture(params=graph_zoo(), ids=lambda t: t[0])
+def known_graph(request):
+    """Parametrized (label, graph, triangles) fixture."""
+    return request.param
+
+
+@pytest.fixture(params=range(len(random_graph_zoo())), ids=["gnm", "rmat", "rgg2d", "rhg"])
+def random_graph(request):
+    """Parametrized random-family graph fixture."""
+    return random_graph_zoo()[request.param]
+
+
+@pytest.fixture
+def rng():
+    """A fixed-seed default RNG for test-local sampling."""
+    return np.random.default_rng(20230704)

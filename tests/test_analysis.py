@@ -1,0 +1,171 @@
+"""Tests for the runner / sweep / tables / verify harness."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ALGORITHMS,
+    format_phase_breakdown,
+    format_scaling_table,
+    format_table,
+    graph_stats,
+    ground_truth_triangles,
+    memory_limited_spec,
+    pe_counts_powers_of_two,
+    run_algorithm,
+    scaling_series,
+    speedup_over,
+    strong_scaling,
+    weak_scaling,
+)
+from repro.analysis.runner import RunResult
+from repro.core.edge_iterator import edge_iterator
+from repro.graphs import distribute
+from repro.graphs import generators as gen
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return gen.gnm(300, 2400, seed=20)
+
+
+def test_algorithm_registry_complete():
+    assert "sequential" in ALGORITHMS
+    for name in ("ditric", "ditric2", "cetric", "cetric2", "tric", "havoqgt"):
+        assert name in ALGORITHMS
+
+
+def test_run_algorithm_all_names(small_graph):
+    truth = edge_iterator(small_graph).triangles
+    for name in ALGORITHMS:
+        res = run_algorithm(small_graph, name, num_pes=4)
+        assert res.ok, name
+        assert res.triangles == truth, name
+        assert res.algorithm == name
+
+
+def test_run_algorithm_rejects_unknown(small_graph):
+    with pytest.raises(ValueError):
+        run_algorithm(small_graph, "quantum", num_pes=2)
+
+
+def test_run_algorithm_requires_pes_for_distributed(small_graph):
+    with pytest.raises(ValueError):
+        run_algorithm(small_graph, "ditric")
+
+
+def test_run_algorithm_accepts_distgraph(small_graph):
+    dist = distribute(small_graph, num_pes=3)
+    res = run_algorithm(dist, "cetric")
+    assert res.num_pes == 3
+    assert res.ok
+
+
+def test_run_algorithm_config_overrides(small_graph):
+    res = run_algorithm(
+        small_graph, "ditric", num_pes=4, config_overrides={"threshold_factor": 0.1}
+    )
+    assert res.ok
+    assert res.triangles == edge_iterator(small_graph).triangles
+
+
+def test_sequential_row(small_graph):
+    res = run_algorithm(small_graph, "sequential")
+    assert res.num_pes == 1
+    assert res.total_ops > 0
+    with pytest.raises(ValueError):
+        run_algorithm(distribute(small_graph, num_pes=2), "sequential")
+
+
+def test_oom_becomes_failed_row():
+    g = gen.rmat(9, 16, seed=21)
+    dist = distribute(g, num_pes=8)
+    spec = memory_limited_spec(dist, words_per_local_arc=0.01)
+    res = run_algorithm(dist, "tric", spec=spec)
+    assert not res.ok
+    assert res.failed == "out-of-memory"
+    assert res.time is None
+    assert res.as_dict()["failed"] == "out-of-memory"
+
+
+def test_memory_limited_spec_scales_with_input():
+    small = distribute(gen.gnm(100, 500, seed=1), num_pes=2)
+    large = distribute(gen.gnm(1000, 8000, seed=1), num_pes=2)
+    assert (
+        memory_limited_spec(large).memory_words > memory_limited_spec(small).memory_words
+    )
+
+
+def test_pe_counts_powers_of_two():
+    assert pe_counts_powers_of_two(16) == [1, 2, 4, 8, 16]
+    assert pe_counts_powers_of_two(20, start=4) == [4, 8, 16]
+    with pytest.raises(ValueError):
+        pe_counts_powers_of_two(0)
+
+
+def test_strong_scaling_rows(small_graph):
+    rows = strong_scaling(small_graph, ["ditric", "cetric"], [1, 2, 4])
+    assert len(rows) == 6
+    truth = edge_iterator(small_graph).triangles
+    assert all(r.triangles == truth for r in rows if r.ok)
+
+
+def test_weak_scaling_grows_input():
+    rows = weak_scaling(
+        lambda n, s: gen.gnm(n, 8 * n, seed=s),
+        ["ditric"],
+        [1, 2, 4],
+        vertices_per_pe=128,
+    )
+    graphs = [r.graph for r in rows]
+    assert len(set(graphs)) == 3  # three distinct instances
+
+
+def test_scaling_series_and_tables(small_graph):
+    rows = strong_scaling(small_graph, ["ditric", "cetric"], [1, 2])
+    series = scaling_series(rows, "time")
+    assert set(series) == {"ditric", "cetric"}
+    assert [p for p, _ in series["ditric"]] == [1, 2]
+    text = format_scaling_table(rows, "time", title="demo")
+    assert "demo" in text and "ditric" in text
+    text2 = format_phase_breakdown(rows)
+    assert "preprocessing" in text2
+
+
+def test_series_keeps_failures_as_none():
+    rows = [
+        RunResult("tric", "g", 2, None, None, failed="out-of-memory"),
+        RunResult("tric", "g", 4, 10, 1.0),
+    ]
+    series = scaling_series(rows)
+    assert series["tric"] == [(2, None), (4, 1.0)]
+
+
+def test_format_table_alignment():
+    text = format_table(
+        [{"a": 1, "b": None}, {"a": 123456, "b": 0.5}], ["a", "b"], title="T"
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "--" in text  # None rendering
+
+
+def test_speedup_over(small_graph):
+    rows = strong_scaling(small_graph, ["havoqgt", "ditric"], [2, 4])
+    sp = speedup_over(rows, "havoqgt", "ditric")
+    assert set(sp) == {2, 4}
+    assert all(v > 0 for v in sp.values())
+
+
+# ---------------------------------------------------------------- verify
+def test_ground_truth_cross_check(small_graph):
+    t = ground_truth_triangles(small_graph, cross_check=True)
+    assert t == edge_iterator(small_graph).triangles
+
+
+def test_graph_stats_fields(small_graph):
+    s = graph_stats(small_graph)
+    assert s.n == 300
+    assert s.m == 2400
+    assert s.avg_degree == pytest.approx(16.0)
+    assert 0 <= s.transitivity <= 1

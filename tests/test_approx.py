@@ -1,0 +1,141 @@
+"""Tests for approximate counting: AMQ global phase, DOULION, colorful."""
+
+import numpy as np
+import pytest
+
+from repro.core.approx import amq_cetric_program, colorful, doulion
+from repro.core.edge_iterator import edge_iterator
+from repro.core.engine import EngineConfig
+from repro.graphs import distribute
+from repro.graphs import generators as gen
+from repro.net import Machine
+
+
+@pytest.fixture(scope="module")
+def skewed_graph():
+    return gen.rmat(9, 12, seed=17)
+
+
+@pytest.fixture(scope="module")
+def skewed_truth(skewed_graph):
+    return edge_iterator(skewed_graph).triangles
+
+
+@pytest.mark.parametrize("kind,budget", [("bloom", 8.0), ("bloom", 16.0), ("ssbf", 16.0)])
+def test_amq_estimate_close(kind, budget, skewed_graph, skewed_truth):
+    dist = distribute(skewed_graph, num_pes=6)
+    res = Machine(6).run(amq_cetric_program, dist, amq_kind=kind, budget=budget)
+    est = res.values[0].estimate_total
+    assert est == pytest.approx(skewed_truth, rel=0.05)
+
+
+def test_amq_local_part_is_exact(skewed_graph):
+    dist = distribute(skewed_graph, num_pes=4)
+    res = Machine(4).run(amq_cetric_program, dist, amq_kind="bloom", budget=8.0)
+    exact = Machine(4).run(
+        __import__("repro.core.engine", fromlist=["counting_program"]).counting_program,
+        dist,
+        EngineConfig(contraction=True),
+    )
+    assert sum(v.exact_local for v in res.values) == sum(
+        v.local_count for v in exact.values
+    )
+
+
+def test_amq_uncorrected_overestimates(skewed_graph, skewed_truth):
+    """Without bias correction, false positives inflate the count."""
+    dist = distribute(skewed_graph, num_pes=6)
+    raw = Machine(6).run(
+        amq_cetric_program, dist, amq_kind="bloom", budget=4.0, correct_bias=False
+    ).values[0].estimate_total
+    corrected = Machine(6).run(
+        amq_cetric_program, dist, amq_kind="bloom", budget=4.0, correct_bias=True
+    ).values[0].estimate_total
+    assert raw >= skewed_truth  # no false negatives, only inflation
+    assert abs(corrected - skewed_truth) <= abs(raw - skewed_truth)
+
+
+def test_amq_reduces_volume_vs_exact(skewed_graph):
+    from repro.core.engine import counting_program
+
+    p = 6
+    dist = distribute(skewed_graph, num_pes=p)
+    exact_vol = Machine(p).run(
+        counting_program, dist, EngineConfig(contraction=True)
+    ).metrics.bottleneck_volume
+    amq_vol = Machine(p).run(
+        amq_cetric_program, dist, amq_kind="bloom", budget=4.0
+    ).metrics.bottleneck_volume
+    assert amq_vol < exact_vol
+
+
+def test_amq_requires_contraction(skewed_graph):
+    dist = distribute(skewed_graph, num_pes=2)
+    with pytest.raises(ValueError):
+        Machine(2).run(
+            amq_cetric_program, dist, config=EngineConfig(contraction=False)
+        )
+
+
+def test_amq_rejects_unknown_kind(skewed_graph):
+    dist = distribute(skewed_graph, num_pes=2)
+    with pytest.raises(ValueError):
+        Machine(2).run(amq_cetric_program, dist, amq_kind="cuckoo")
+
+
+def test_amq_exact_when_no_type3():
+    g = gen.disjoint_cliques(3, 6)
+    truth = edge_iterator(g).triangles
+    dist = distribute(g, num_pes=3)
+    res = Machine(3).run(amq_cetric_program, dist)
+    assert res.values[0].estimate_total == pytest.approx(truth)
+    assert all(v.approx_remote == 0.0 for v in res.values)
+
+
+# ---------------------------------------------------------------- sampling
+def test_doulion_q1_is_exact(skewed_graph, skewed_truth):
+    res = doulion(skewed_graph, 1.0, seed=1)
+    assert res.estimate == skewed_truth
+    assert res.reduced_edges == skewed_graph.num_edges
+
+
+def test_doulion_unbiased_over_seeds(skewed_graph, skewed_truth):
+    estimates = [doulion(skewed_graph, 0.6, seed=s).estimate for s in range(12)]
+    mean = float(np.mean(estimates))
+    assert mean == pytest.approx(skewed_truth, rel=0.15)
+
+
+def test_doulion_reduces_edges(skewed_graph):
+    res = doulion(skewed_graph, 0.3, seed=2)
+    assert res.reduced_edges < 0.4 * skewed_graph.num_edges
+
+
+def test_doulion_validates_q(skewed_graph):
+    with pytest.raises(ValueError):
+        doulion(skewed_graph, 0.0)
+    with pytest.raises(ValueError):
+        doulion(skewed_graph, 1.5)
+
+
+def test_colorful_one_color_is_exact(skewed_graph, skewed_truth):
+    res = colorful(skewed_graph, 1, seed=1)
+    assert res.estimate == skewed_truth
+
+
+def test_colorful_unbiased_over_seeds(skewed_graph, skewed_truth):
+    estimates = [colorful(skewed_graph, 3, seed=s).estimate for s in range(16)]
+    mean = float(np.mean(estimates))
+    assert mean == pytest.approx(skewed_truth, rel=0.2)
+
+
+def test_colorful_validates_colors(skewed_graph):
+    with pytest.raises(ValueError):
+        colorful(skewed_graph, 0)
+
+
+def test_sampling_accepts_custom_counter(skewed_graph):
+    from repro.core.edge_iterator import matrix_count
+
+    res = doulion(skewed_graph, 0.5, seed=3, counter=matrix_count)
+    res2 = doulion(skewed_graph, 0.5, seed=3)
+    assert res.estimate == res2.estimate

@@ -1,0 +1,133 @@
+"""Tests for degree-based load balancing (Section IV-D)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import distribute, partition_by_vertices
+from repro.graphs import generators as gen
+from repro.graphs.balance import (
+    COST_FUNCTIONS,
+    cost_balanced_partition,
+    rebalance,
+)
+
+
+@pytest.fixture(scope="module")
+def skewed():
+    return gen.rmat(11, 16, seed=13)
+
+
+def test_all_cost_functions_positive(skewed):
+    for name, fn in COST_FUNCTIONS.items():
+        c = fn(skewed)
+        assert c.shape == (skewed.num_vertices,)
+        assert np.all(c >= 0), name
+
+
+def test_outdeg_sum_tracks_actual_merge_work(skewed):
+    """The estimate must sum to the edge iterator's charged ops."""
+    from repro.core.edge_iterator import edge_iterator
+
+    est = COST_FUNCTIONS["outdeg_sum"](skewed).sum()
+    actual = edge_iterator(skewed).intersection_ops
+    assert est == pytest.approx(actual)
+
+
+@pytest.mark.parametrize("cost", ["degree", "dlogd", "outdeg_sum"])
+def test_balanced_partition_reduces_imbalance(cost, skewed):
+    p = 8
+    naive = partition_by_vertices(skewed.num_vertices, p)
+    res = rebalance(skewed, naive, cost=cost)
+    assert res.partition.num_pes == p
+    assert res.partition.num_vertices == skewed.num_vertices
+    assert res.imbalance_after <= res.imbalance_before
+    assert res.imbalance_after < 1.1
+
+
+def test_degree_sq_defeated_by_indivisible_hubs(skewed):
+    """d^2 cost concentrates on hubs; a contiguous cut cannot split a
+    hub, so the quantile partition may not improve (one reason the
+    paper's future-work asks for balancers with provable guarantees)."""
+    naive = partition_by_vertices(skewed.num_vertices, 8)
+    res = rebalance(skewed, naive, cost="degree_sq")
+    # Still a valid partition, even if the estimate got worse.
+    assert res.partition.num_vertices == skewed.num_vertices
+
+
+def test_balanced_partition_keeps_global_order(skewed):
+    part = cost_balanced_partition(skewed, 8)
+    assert np.all(np.diff(part.bounds) >= 0)
+
+
+def test_rebalance_counts_migration(skewed):
+    naive = partition_by_vertices(skewed.num_vertices, 8)
+    res = rebalance(skewed, naive)
+    if res.moved_vertices:
+        assert res.migration_words >= res.moved_vertices * 2
+    # Migration is bounded by shipping the whole graph once.
+    assert res.migration_words <= skewed.num_arcs + 2 * skewed.num_vertices
+
+
+def test_rebalance_noop_when_already_balanced():
+    g = gen.gnm(400, 3200, seed=4)  # uniform degrees
+    naive = partition_by_vertices(g.num_vertices, 4)
+    res = rebalance(g, naive, cost="degree")
+    # Uniform graph: the naive partition is already near-balanced, so
+    # few vertices move.
+    assert res.moved_vertices < g.num_vertices // 4
+
+
+def test_unknown_cost_rejected(skewed):
+    with pytest.raises(KeyError):
+        cost_balanced_partition(skewed, 4, cost="voodoo")
+    with pytest.raises(ValueError):
+        cost_balanced_partition(skewed, 0)
+
+
+def test_empty_graph_partition():
+    from repro.graphs import empty_graph
+
+    part = cost_balanced_partition(empty_graph(10), 3)
+    assert part.num_pes == 3
+    assert part.num_vertices == 10
+
+
+def test_balanced_partition_correct_counts(skewed):
+    """Counting on the rebalanced partition is still exact."""
+    from repro.analysis.runner import run_algorithm
+    from repro.core.edge_iterator import edge_iterator
+
+    part = cost_balanced_partition(skewed, 6)
+    dist = distribute(skewed, partition=part)
+    res = run_algorithm(dist, "cetric")
+    assert res.triangles == edge_iterator(skewed).triangles
+
+
+def test_rebalancing_does_not_pay_off(skewed):
+    """The paper's Section IV-D finding, end to end.
+
+    The estimated imbalance improves, but the realized makespan gain is
+    marginal while the migration ships a volume comparable to the whole
+    counting phase's traffic — so rebalancing "does not pay off".
+    """
+    from repro.core.engine import EngineConfig, counting_program
+    from repro.net import DEFAULT_SPEC, Machine
+
+    p = 8
+    naive = partition_by_vertices(skewed.num_vertices, p)
+    res = rebalance(skewed, naive, cost="outdeg_sum")
+    assert res.imbalance_after <= res.imbalance_before
+
+    def makespan(partition):
+        dist = distribute(skewed, partition=partition)
+        return Machine(p).run(counting_program, dist, EngineConfig()).metrics
+
+    before = makespan(naive)
+    after = makespan(res.partition)
+    # The counting-time gain is marginal (a few percent at most), while
+    # realizing the new partition costs a real migration (words below)
+    # plus, in the paper's setting, a full graph reload — hence their
+    # conclusion that the overhead is not recouped.
+    gain = before.makespan - after.makespan
+    assert gain < 0.10 * before.makespan
+    assert res.migration_words > 0  # the move is not free

@@ -1,0 +1,167 @@
+"""Tests for the TriC-like, HavoqGT-like and shared-memory baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    edge_parallel_count,
+    havoqgt_program,
+    tric_program,
+    vertex_parallel_count,
+)
+from repro.core.edge_iterator import edge_iterator
+from repro.core.engine import EngineConfig, counting_program
+from repro.graphs import distribute
+from repro.graphs import generators as gen
+from repro.net import Machine, MachineSpec, OutOfMemoryError
+
+
+# ---------------------------------------------------------------- tric
+@pytest.mark.parametrize("p", [1, 2, 4, 7])
+def test_tric_correct(p, random_graph):
+    truth = edge_iterator(random_graph).triangles
+    dist = distribute(random_graph, num_pes=p)
+    res = Machine(p).run(tric_program, dist)
+    assert res.values[0].triangles_total == truth
+
+
+@pytest.mark.parametrize("p", [2, 5])
+def test_tric_correct_on_known(p, known_graph):
+    label, g, expected = known_graph
+    dist = distribute(g, num_pes=p)
+    assert Machine(p).run(tric_program, dist).values[0].triangles_total == expected
+
+
+def test_tric_single_exchange_message_count():
+    """TriC's signature: exactly p-1 data messages per PE."""
+    g = gen.gnm(400, 4000, seed=3)
+    p = 8
+    dist = distribute(g, num_pes=p)
+    res = Machine(p).run(tric_program, dist)
+    import math
+
+    # reduce+bcast tree adds O(log p); the data exchange is p-1 each.
+    for m in res.metrics.per_pe:
+        assert m.messages_sent <= (p - 1) + 2 * math.ceil(math.log2(p)) + 2
+
+
+def test_tric_out_of_memory_on_tight_budget():
+    g = gen.rmat(9, 16, seed=4)
+    p = 8
+    dist = distribute(g, num_pes=p)
+    tight = MachineSpec(memory_words=100)
+    with pytest.raises(OutOfMemoryError):
+        Machine(p, tight).run(tric_program, dist)
+
+
+def test_tric_more_work_than_ditric_on_skewed():
+    """No degree orientation => hub out-degrees explode the work."""
+    g = gen.rhg(3000, avg_degree=16, gamma=2.6, seed=5)
+    p = 8
+    dist = distribute(g, num_pes=p)
+    ops_tric = Machine(p).run(tric_program, dist).metrics.total_ops
+    ops_ditric = Machine(p).run(
+        counting_program, dist, EngineConfig()
+    ).metrics.total_ops
+    assert ops_tric > 2 * ops_ditric
+
+
+def test_tric_static_buffer_recorded():
+    g = gen.gnm(300, 3000, seed=6)
+    dist = distribute(g, num_pes=4)
+    res = Machine(4).run(tric_program, dist)
+    assert res.metrics.max_peak_buffer_words > 0
+    for v in res.values:
+        assert v.staged_words >= 0
+
+
+# ---------------------------------------------------------------- havoqgt
+@pytest.mark.parametrize("p", [1, 2, 4, 7])
+def test_havoqgt_correct(p, random_graph):
+    truth = edge_iterator(random_graph).triangles
+    dist = distribute(random_graph, num_pes=p)
+    res = Machine(p).run(havoqgt_program, dist)
+    assert res.values[0].triangles_total == truth
+
+
+@pytest.mark.parametrize("p", [3, 6])
+def test_havoqgt_correct_on_known(p, known_graph):
+    label, g, expected = known_graph
+    dist = distribute(g, num_pes=p)
+    assert Machine(p).run(havoqgt_program, dist).values[0].triangles_total == expected
+
+
+def test_havoqgt_traffic_scales_with_wedges():
+    """Visitor volume ~ 2 words x remote wedges, far above DITRIC volume."""
+    g = gen.rhg(3000, avg_degree=24, gamma=2.8, seed=7)
+    p = 8
+    dist = distribute(g, num_pes=p)
+    hv = Machine(p).run(havoqgt_program, dist).metrics.total_volume
+    dv = Machine(p).run(counting_program, dist, EngineConfig()).metrics.total_volume
+    assert hv > dv
+
+
+def test_havoqgt_preprocessing_phase_heavier_than_ditric():
+    g = gen.gnm(800, 8000, seed=8)
+    p = 4
+    dist = distribute(g, num_pes=p)
+    h = Machine(p).run(havoqgt_program, dist).metrics.phase_breakdown()
+    d = Machine(p).run(counting_program, dist, EngineConfig()).metrics.phase_breakdown()
+    assert h["preprocessing"] > d["preprocessing"]
+
+
+def test_havoqgt_batch_size_controls_messages():
+    g = gen.gnm(500, 5000, seed=9)
+    p = 4
+    dist = distribute(g, num_pes=p)
+    small = Machine(p).run(havoqgt_program, dist, batch_pairs=64).metrics.total_messages
+    large = Machine(p).run(havoqgt_program, dist, batch_pairs=65536).metrics.total_messages
+    assert small > large
+
+
+# ---------------------------------------------------------------- shared memory
+@pytest.mark.parametrize("workers", [1, 2, 4, 8])
+def test_vertex_parallel_correct(workers, random_graph):
+    truth = edge_iterator(random_graph).triangles
+    res = vertex_parallel_count(random_graph, workers)
+    assert res.triangles == truth
+    assert len(res.work_per_worker) == workers
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4, 8])
+def test_edge_parallel_correct(workers, random_graph):
+    truth = edge_iterator(random_graph).triangles
+    res = edge_parallel_count(random_graph, workers)
+    assert res.triangles == truth
+
+
+def test_serial_mode_matches_parallel(random_graph):
+    a = edge_parallel_count(random_graph, 4, parallel=True)
+    b = edge_parallel_count(random_graph, 4, parallel=False)
+    assert a.triangles == b.triangles
+    assert a.work_per_worker == b.work_per_worker
+
+
+def test_edge_centric_better_balanced_on_skewed():
+    """Green et al.'s result: work-based splitting beats vertex blocks."""
+    g = gen.rmat(11, 16, seed=10)
+    workers = 8
+    v = vertex_parallel_count(g, workers, parallel=False)
+    e = edge_parallel_count(g, workers, parallel=False)
+    assert e.load_imbalance < v.load_imbalance
+    assert e.load_imbalance < 1.5
+
+
+def test_workers_validation(random_graph):
+    with pytest.raises(ValueError):
+        vertex_parallel_count(random_graph, 0)
+    with pytest.raises(ValueError):
+        edge_parallel_count(random_graph, 0)
+
+
+def test_load_imbalance_of_empty_graph():
+    from repro.graphs import empty_graph
+
+    res = vertex_parallel_count(empty_graph(10), 4)
+    assert res.triangles == 0
+    assert res.load_imbalance == 1.0

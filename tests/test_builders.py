@@ -1,0 +1,135 @@
+"""Unit tests for graph construction and cleaning."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    canonical_edges,
+    empty_graph,
+    from_edges,
+    from_neighborhoods,
+    from_networkx,
+    from_scipy,
+    induced_subgraph,
+    relabel,
+    remove_isolated_vertices,
+)
+from repro.graphs.generators import complete_graph, ring
+
+
+def test_canonical_edges_dedups_and_orients():
+    e = np.array([[1, 0], [0, 1], [0, 1], [2, 2], [3, 2]])
+    canon = canonical_edges(e)
+    assert canon.tolist() == [[0, 1], [2, 3]]
+
+
+def test_canonical_edges_empty():
+    assert canonical_edges(np.empty((0, 2), dtype=np.int64)).shape == (0, 2)
+
+
+def test_canonical_edges_keeps_self_loops_when_asked():
+    e = np.array([[2, 2]])
+    assert canonical_edges(e, drop_self_loops=False).tolist() == [[2, 2]]
+
+
+def test_canonical_edges_rejects_bad_shape():
+    with pytest.raises(ValueError):
+        canonical_edges(np.array([[1, 2, 3]]))
+
+
+def test_from_edges_symmetrizes_and_sorts():
+    g = from_edges(np.array([[2, 0], [1, 2]]))
+    assert g.num_vertices == 3
+    assert g.num_edges == 2
+    assert list(g.neighbors(2)) == [0, 1]
+    assert g.check_symmetric()
+    assert g.check_sorted()
+
+
+def test_from_edges_handles_duplicates_and_loops():
+    g = from_edges(np.array([[0, 1], [1, 0], [0, 0], [0, 1]]))
+    assert g.num_edges == 1
+
+
+def test_from_edges_respects_num_vertices():
+    g = from_edges(np.array([[0, 1]]), num_vertices=5)
+    assert g.num_vertices == 5
+    assert g.degree(4) == 0
+    with pytest.raises(ValueError):
+        from_edges(np.array([[0, 9]]), num_vertices=5)
+
+
+def test_from_neighborhoods_roundtrip():
+    g = from_neighborhoods([[1, 2], [0, 2], [0, 1]])
+    assert g.num_edges == 3
+    with pytest.raises(ValueError):
+        from_neighborhoods([[1], []])  # not symmetric
+    with pytest.raises(ValueError):
+        from_neighborhoods([[0]])  # self loop
+
+
+def test_from_scipy_and_networkx():
+    base = complete_graph(5)
+    g1 = from_scipy(base.to_scipy())
+    g2 = from_networkx(base.to_networkx())
+    assert g1.num_edges == g2.num_edges == 10
+
+
+def test_from_networkx_requires_compact_ids():
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_edge("a", "b")
+    with pytest.raises(ValueError):
+        from_networkx(g)
+
+
+def test_empty_graph():
+    g = empty_graph(7)
+    assert g.num_vertices == 7
+    assert g.num_edges == 0
+
+
+def test_remove_isolated_vertices():
+    g = from_edges(np.array([[0, 3], [3, 5]]), num_vertices=8)
+    cleaned, old_ids = remove_isolated_vertices(g)
+    assert cleaned.num_vertices == 3
+    assert cleaned.num_edges == 2
+    assert old_ids.tolist() == [0, 3, 5]
+
+
+def test_remove_isolated_noop_when_none():
+    g = ring(5)
+    cleaned, old_ids = remove_isolated_vertices(g)
+    assert cleaned.num_vertices == 5
+    assert old_ids.tolist() == list(range(5))
+
+
+def test_relabel_preserves_structure():
+    g = complete_graph(5)
+    perm = np.array([4, 3, 2, 1, 0])
+    h = relabel(g, perm)
+    assert h.num_edges == g.num_edges
+    # K5 is invariant under relabeling.
+    assert np.array_equal(h.xadj, g.xadj)
+
+
+def test_relabel_rejects_non_permutation():
+    g = ring(4)
+    with pytest.raises(ValueError):
+        relabel(g, np.array([0, 0, 1, 2]))
+    with pytest.raises(ValueError):
+        relabel(g, np.array([0, 1, 2]))
+
+
+def test_induced_subgraph():
+    g = complete_graph(6)
+    sub, ids = induced_subgraph(g, np.array([1, 3, 5]))
+    assert ids.tolist() == [1, 3, 5]
+    assert sub.num_vertices == 3
+    assert sub.num_edges == 3  # triangle
+
+
+def test_induced_subgraph_out_of_range():
+    with pytest.raises(ValueError):
+        induced_subgraph(ring(4), np.array([9]))

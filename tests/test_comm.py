@@ -1,0 +1,167 @@
+"""Tests for the collective operations."""
+
+import numpy as np
+import pytest
+
+from repro.net import (
+    Machine,
+    allreduce,
+    alltoallv_dense,
+    barrier,
+    bcast,
+    drain,
+    reduce_to_root,
+    sparse_alltoall,
+)
+
+PS = [1, 2, 3, 4, 5, 7, 8, 16]
+
+
+@pytest.mark.parametrize("p", PS)
+def test_barrier_completes(p):
+    def prog(ctx):
+        yield from barrier(ctx)
+        yield from barrier(ctx)  # twice: sequence numbers must not mix
+        return True
+
+    assert Machine(p).run(prog).values == [True] * p
+
+
+@pytest.mark.parametrize("p", PS)
+def test_reduce_to_root(p):
+    def prog(ctx):
+        return (yield from reduce_to_root(ctx, ctx.rank + 1, lambda a, b: a + b))
+
+    res = Machine(p).run(prog)
+    assert res.values[0] == p * (p + 1) // 2
+    assert all(v is None for v in res.values[1:])
+
+
+@pytest.mark.parametrize("p", PS)
+def test_bcast(p):
+    def prog(ctx):
+        value = "payload" if ctx.rank == 0 else None
+        return (yield from bcast(ctx, value))
+
+    assert Machine(p).run(prog).values == ["payload"] * p
+
+
+@pytest.mark.parametrize("p", PS)
+def test_allreduce_everyone_gets_result(p):
+    def prog(ctx):
+        return (yield from allreduce(ctx, 2**ctx.rank, lambda a, b: a + b))
+
+    assert Machine(p).run(prog).values == [(2**p) - 1] * p
+
+
+def test_allreduce_with_max():
+    def prog(ctx):
+        return (yield from allreduce(ctx, ctx.rank * 7 % 5, max))
+
+    p = 6
+    expected = max(r * 7 % 5 for r in range(p))
+    assert Machine(p).run(prog).values == [expected] * p
+
+
+@pytest.mark.parametrize("p", [2, 3, 5, 8])
+def test_dense_alltoall_delivers_everything(p):
+    def prog(ctx):
+        payloads = {d: (f"{ctx.rank}->{d}", 2) for d in range(p)}
+        msgs = yield from alltoallv_dense(ctx, payloads)
+        return sorted(m.payload for m in msgs)
+
+    res = Machine(p).run(prog)
+    for rank, got in enumerate(res.values):
+        assert got == sorted(f"{s}->{rank}" for s in range(p))
+
+
+def test_dense_alltoall_message_count_is_p_minus_1():
+    p = 6
+
+    def prog(ctx):
+        yield from alltoallv_dense(ctx, {})
+        return None
+
+    res = Machine(p).run(prog)
+    for m in res.metrics.per_pe:
+        assert m.messages_sent == p - 1  # even with no payloads
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 9])
+def test_sparse_alltoall_only_contacts_partners(p):
+    def prog(ctx):
+        dest = (ctx.rank + 1) % p
+        msgs = yield from sparse_alltoall(ctx, [(dest, ctx.rank, 3)])
+        return [m.payload for m in msgs]
+
+    res = Machine(p).run(prog)
+    for rank, got in enumerate(res.values):
+        assert got == [(rank - 1) % p]
+
+
+def test_sparse_alltoall_message_count():
+    """Sparse: data messages + barrier control traffic only."""
+    p = 8
+
+    def prog(ctx):
+        yield from sparse_alltoall(ctx, [((ctx.rank + 1) % p, None, 1)])
+        return None
+
+    res = Machine(p).run(prog)
+    import math
+
+    barrier_msgs = math.ceil(math.log2(p))
+    for m in res.metrics.per_pe:
+        assert m.messages_sent == 1 + barrier_msgs
+
+
+def test_sparse_alltoall_self_delivery_free():
+    def prog(ctx):
+        msgs = yield from sparse_alltoall(ctx, [(ctx.rank, "self", 5)])
+        return [m.payload for m in msgs]
+
+    res = Machine(3).run(prog)
+    assert res.values == [["self"]] * 3
+    # Self messages cost nothing beyond the termination barrier.
+    for m in res.metrics.per_pe:
+        assert m.words_sent <= 2 * 3  # barrier words only
+
+
+def test_sparse_alltoall_multiple_to_same_dest():
+    def prog(ctx):
+        if ctx.rank == 0:
+            msgs = yield from sparse_alltoall(ctx, [])
+        else:
+            msgs = yield from sparse_alltoall(ctx, [(0, i, 1) for i in range(3)])
+        return sorted(m.payload for m in msgs if m.payload is not None)
+
+    res = Machine(3).run(prog)
+    assert res.values[0] == [0, 0, 1, 1, 2, 2]
+
+
+def test_drain():
+    def prog(ctx):
+        if ctx.rank == 0:
+            for i in range(4):
+                ctx.send(1, "d", i, 1)
+            yield from barrier(ctx)
+            return []
+        yield from barrier(ctx)
+        return [m.payload for m in drain(ctx, "d")]
+
+    res = Machine(2).run(prog)
+    assert res.values[1] == [0, 1, 2, 3]
+
+
+def test_collectives_interleave_safely():
+    """Back-to-back different collectives must not cross-talk."""
+
+    def prog(ctx):
+        s = yield from allreduce(ctx, 1, lambda a, b: a + b)
+        yield from barrier(ctx)
+        m = yield from allreduce(ctx, ctx.rank, max)
+        b = yield from bcast(ctx, s * 100 + m if ctx.rank == 0 else None)
+        return b
+
+    p = 5
+    assert Machine(p).run(prog).values == [5 * 100 + 4] * p

@@ -1,0 +1,69 @@
+"""Tests for distributed connected components."""
+
+import numpy as np
+import pytest
+
+from repro.core.components import components_program
+from repro.graphs import distribute
+from repro.graphs import generators as gen
+from repro.graphs.stats import connected_components
+from repro.net import Machine
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 7])
+def test_components_match_scipy(p, random_graph):
+    count, labels = connected_components(random_graph)
+    dist = distribute(random_graph, num_pes=p)
+    res = Machine(p).run(components_program, dist)
+    got = np.concatenate([v.labels for v in res.values])
+    assert res.values[0].num_components == count
+    # Same partition into components (labels may differ from scipy's).
+    for comp in range(count):
+        members = np.flatnonzero(labels == comp)
+        assert np.unique(got[members]).size == 1
+
+
+def test_components_disjoint_cliques():
+    g = gen.disjoint_cliques(4, 5)
+    dist = distribute(g, num_pes=4)
+    res = Machine(4).run(components_program, dist)
+    assert res.values[0].num_components == 4
+    got = np.concatenate([v.labels for v in res.values])
+    # Label is the minimum id of each clique.
+    assert np.array_equal(np.unique(got), np.array([0, 5, 10, 15]))
+
+
+def test_components_path_is_worst_case():
+    """A path needs ~n label-propagation rounds — the adversarial shape."""
+    g = gen.path(24)
+    dist = distribute(g, num_pes=3)
+    res = Machine(3).run(components_program, dist)
+    assert res.values[0].num_components == 1
+    assert res.values[0].rounds >= 8  # diameter-bound behaviour visible
+
+
+def test_components_with_isolated_vertices():
+    from repro.graphs import from_edges
+
+    g = from_edges(np.array([[0, 1]]), num_vertices=5)
+    dist = distribute(g, num_pes=2)
+    res = Machine(2).run(components_program, dist)
+    assert res.values[0].num_components == 4  # {0,1} plus 3 singletons
+
+
+def test_components_empty_graph():
+    from repro.graphs import empty_graph
+
+    dist = distribute(empty_graph(6), num_pes=3)
+    res = Machine(3).run(components_program, dist)
+    assert res.values[0].num_components == 6
+
+
+def test_components_parallel_backend():
+    from repro.net import ProcessMachine
+
+    g = gen.rgg2d(300, expected_edges=1200, seed=3)
+    count, _ = connected_components(g)
+    dist = distribute(g, num_pes=3)
+    res = ProcessMachine(3).run(components_program, dist)
+    assert res.values[0].num_components == count

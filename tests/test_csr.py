@@ -1,0 +1,140 @@
+"""Unit tests for the CSR graph container."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import from_edges
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import complete_graph, ring, star
+
+
+def test_empty_graph_has_no_vertices_or_edges():
+    g = CSRGraph(np.zeros(1, dtype=np.int64), np.empty(0, dtype=np.int64))
+    assert g.num_vertices == 0
+    assert g.num_arcs == 0
+    assert g.max_degree() == 0
+
+
+def test_single_vertex_no_edges():
+    g = CSRGraph(np.zeros(2, dtype=np.int64), np.empty(0, dtype=np.int64))
+    assert g.num_vertices == 1
+    assert g.degree(0) == 0
+    assert g.neighbors(0).size == 0
+
+
+def test_triangle_structure():
+    g = from_edges(np.array([[0, 1], [1, 2], [0, 2]]))
+    assert g.num_vertices == 3
+    assert g.num_edges == 3
+    assert g.num_arcs == 6
+    assert list(g.neighbors(0)) == [1, 2]
+    assert list(g.neighbors(1)) == [0, 2]
+    assert g.degree(2) == 2
+
+
+def test_degrees_vectorized_matches_scalar():
+    g = complete_graph(7)
+    assert np.array_equal(g.degrees, [g.degree(v) for v in range(7)])
+
+
+def test_has_edge():
+    g = star(6)
+    assert g.has_edge(0, 3)
+    assert g.has_edge(3, 0)
+    assert not g.has_edge(1, 2)
+
+
+def test_has_edge_unsorted_fallback():
+    g = star(6)
+    g.sorted_neighborhoods = False
+    assert g.has_edge(0, 3)
+    assert not g.has_edge(1, 2)
+
+
+def test_edges_and_undirected_edges():
+    g = ring(5)
+    assert g.edges().shape == (10, 2)
+    ue = g.undirected_edges()
+    assert ue.shape == (5, 2)
+    assert np.all(ue[:, 0] < ue[:, 1])
+
+
+def test_undirected_edges_on_oriented_graph():
+    from repro.core.orientation import orient_by_degree
+
+    og = orient_by_degree(ring(5))
+    ue = og.undirected_edges()
+    assert ue.shape == (5, 2)
+    assert np.all(ue[:, 0] < ue[:, 1])
+
+
+def test_check_symmetric_true_and_false():
+    g = ring(4)
+    assert g.check_symmetric()
+    asym = CSRGraph(np.array([0, 1, 1]), np.array([1]))  # arc 0->1 only
+    assert not asym.check_symmetric()
+
+
+def test_check_sorted():
+    g = complete_graph(5)
+    assert g.check_sorted()
+    bad = CSRGraph(np.array([0, 2, 2]), np.array([1, 0]), oriented=True)
+    assert not bad.check_sorted()
+
+
+def test_check_no_self_loops():
+    g = ring(4)
+    assert g.check_no_self_loops()
+    loop = CSRGraph(np.array([0, 1]), np.array([0]), oriented=True)
+    assert not loop.check_no_self_loops()
+
+
+def test_to_scipy_roundtrip():
+    g = complete_graph(6)
+    m = g.to_scipy()
+    assert m.shape == (6, 6)
+    assert m.nnz == g.num_arcs
+    assert (m != m.T).nnz == 0  # symmetric
+
+
+def test_to_networkx():
+    g = ring(7)
+    nxg = g.to_networkx()
+    assert nxg.number_of_nodes() == 7
+    assert nxg.number_of_edges() == 7
+
+
+def test_copy_is_deep():
+    g = ring(4)
+    h = g.copy()
+    h.adjncy[0] = 3
+    assert g.adjncy[0] != 3 or g.adjncy[0] == h.adjncy[0] - 0  # original unchanged
+    assert not np.shares_memory(g.adjncy, h.adjncy)
+
+
+def test_memory_words():
+    g = ring(4)
+    assert g.memory_words() == g.xadj.size + g.adjncy.size
+
+
+def test_invalid_xadj_rejected():
+    with pytest.raises(ValueError):
+        CSRGraph(np.array([1, 2]), np.array([0]))  # xadj[0] != 0
+    with pytest.raises(ValueError):
+        CSRGraph(np.array([0, 2]), np.array([0]))  # xadj[-1] mismatch
+    with pytest.raises(ValueError):
+        CSRGraph(np.array([0, 2, 1, 3]), np.array([0, 0, 0]))  # decreasing
+
+
+def test_out_of_range_neighbor_rejected():
+    with pytest.raises(ValueError):
+        CSRGraph(np.array([0, 1]), np.array([5]))
+    with pytest.raises(ValueError):
+        CSRGraph(np.array([0, 1]), np.array([-1]))
+
+
+def test_iter_neighborhoods():
+    g = star(4)
+    pairs = dict((v, list(nb)) for v, nb in g.iter_neighborhoods())
+    assert pairs[0] == [1, 2, 3]
+    assert pairs[2] == [0]

@@ -1,0 +1,129 @@
+"""Tests for the Table-I stand-in datasets."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import DATASET_NAMES, PAPER_STATS, dataset, distribute
+from repro.analysis.verify import graph_stats
+
+
+def test_all_names_instantiate():
+    for name in DATASET_NAMES:
+        g = dataset(name, scale=0.1)
+        assert g.num_vertices > 0
+        assert g.name == name
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(KeyError):
+        dataset("nope")
+
+
+def test_bad_scale_rejected():
+    with pytest.raises(ValueError):
+        dataset("orkut", scale=0.0)
+
+
+def test_deterministic_per_seed():
+    a = dataset("live-journal", scale=0.2, seed=7)
+    b = dataset("live-journal", scale=0.2, seed=7)
+    c = dataset("live-journal", scale=0.2, seed=8)
+    assert np.array_equal(a.adjncy, b.adjncy)
+    assert not np.array_equal(a.adjncy, c.adjncy)
+
+
+def test_scale_grows_instances():
+    small = dataset("usa", scale=0.2)
+    large = dataset("usa", scale=0.8)
+    assert large.num_vertices > small.num_vertices
+
+
+def test_paper_stats_table_complete():
+    assert set(PAPER_STATS) == set(DATASET_NAMES)
+    for stats in PAPER_STATS.values():
+        assert stats.n > 0 and stats.m > 0
+        assert stats.avg_degree > 1
+
+
+def test_road_networks_are_sparse_and_triangle_poor():
+    for name in ("europe", "usa"):
+        g = dataset(name, scale=0.3)
+        s = graph_stats(g)
+        assert s.avg_degree < 6
+        # Few triangles relative to edges, like real road networks.
+        assert s.triangles < s.m
+
+
+def test_web_stand_ins_have_id_locality():
+    g = dataset("uk-2007-05", scale=0.3)
+    e = g.undirected_edges()
+    med = np.median(np.abs(e[:, 0] - e[:, 1]))
+    assert med < g.num_vertices / 8
+
+
+def test_social_stand_ins_have_no_id_locality():
+    g = dataset("friendster", scale=0.3)
+    e = g.undirected_edges()
+    med = np.median(np.abs(e[:, 0] - e[:, 1]))
+    assert med > g.num_vertices / 8
+
+
+def test_web_cut_smaller_than_social_cut():
+    """The property Fig. 6/7 hinge on: web partitions cut fewer edges."""
+    web = dataset("webbase-2001", scale=0.4)
+    social = dataset("friendster", scale=0.4)
+    web_cut = distribute(web, num_pes=8).total_cut_edges() / web.num_edges
+    social_cut = distribute(social, num_pes=8).total_cut_edges() / social.num_edges
+    assert web_cut < social_cut
+
+
+def test_twitter_is_most_skewed_social():
+    g = dataset("twitter", scale=0.4)
+    avg = 2 * g.num_edges / g.num_vertices
+    assert g.max_degree() > 10 * avg
+
+
+def test_load_real_roundtrip(tmp_path):
+    """Loading a 'real' dataset file applies the paper's preprocessing."""
+    import warnings
+
+    from repro.graphs.datasets import load_real
+    from repro.graphs.io import write_edge_list
+    from repro.graphs.generators import wheel
+
+    path = tmp_path / "europe.el"
+    write_edge_list(wheel(64), path)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        with pytest.raises(Warning):
+            load_real("europe", path)  # way smaller than Table I -> warns
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        g = load_real("europe", path)
+    assert g.name == "europe"
+    assert g.num_edges == wheel(64).num_edges
+
+
+def test_load_real_unknown_name(tmp_path):
+    from repro.graphs.datasets import load_real
+
+    with pytest.raises(KeyError):
+        load_real("not-a-dataset", tmp_path / "x.el")
+
+
+def test_load_real_drops_isolated(tmp_path):
+    import warnings
+
+    import numpy as np
+
+    from repro.graphs import from_edges
+    from repro.graphs.datasets import load_real
+    from repro.graphs.io import write_edge_list
+
+    g = from_edges(np.array([[0, 5], [5, 9]]), num_vertices=12)
+    path = tmp_path / "usa.el"
+    write_edge_list(g, path)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        loaded = load_real("usa", path)
+    assert loaded.num_vertices == 3  # only the three touched vertices remain

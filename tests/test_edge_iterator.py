@@ -1,0 +1,127 @@
+"""Tests for the sequential counters (Algorithm 1 and oracles)."""
+
+import numpy as np
+
+from repro.core.edge_iterator import (
+    edge_iterator,
+    edge_iterator_per_vertex,
+    matrix_count,
+    triangle_edges,
+)
+from repro.core.wedges import (
+    global_clustering_coefficient,
+    oriented_wedges,
+    wedge_count,
+    wedges_per_vertex,
+)
+from repro.graphs import generators as gen
+
+
+def test_known_counts(known_graph):
+    label, g, expected = known_graph
+    assert edge_iterator(g).triangles == expected, label
+    assert matrix_count(g) == expected, label
+
+
+def test_oracles_agree_on_random(random_graph):
+    assert edge_iterator(random_graph).triangles == matrix_count(random_graph)
+
+
+def test_matches_networkx(random_graph):
+    import networkx as nx
+
+    expected = sum(nx.triangles(random_graph.to_networkx()).values()) // 3
+    assert edge_iterator(random_graph).triangles == expected
+
+
+def test_accepts_oriented_input():
+    from repro.core.orientation import orient_by_degree
+
+    g = gen.complete_graph(7)
+    assert edge_iterator(orient_by_degree(g)).triangles == 35
+
+
+def test_intersection_ops_positive_and_bounded():
+    g = gen.complete_graph(10)
+    res = edge_iterator(g)
+    assert res.intersection_ops > 0
+    # merge cost is at most sum over arcs of (d+_u + d+_v) <= 2 m * max d+
+    og_max = 9
+    assert res.intersection_ops <= 2 * g.num_edges * og_max
+
+
+def test_per_vertex_sums_to_three_triangles(known_graph):
+    label, g, expected = known_graph
+    delta, res = edge_iterator_per_vertex(g)
+    assert res.triangles == expected, label
+    assert delta.sum() == 3 * expected, label
+
+
+def test_per_vertex_matches_networkx(random_graph):
+    import networkx as nx
+
+    delta, _ = edge_iterator_per_vertex(random_graph)
+    nx_tri = nx.triangles(random_graph.to_networkx())
+    assert delta.tolist() == [nx_tri[v] for v in range(random_graph.num_vertices)]
+
+
+def test_triangle_enumeration_complete():
+    g = gen.complete_graph(5)
+    tri = triangle_edges(g)
+    assert tri.shape == (10, 3)
+    # Each row ascending, all rows distinct.
+    assert np.all(tri[:, 0] < tri[:, 1]) and np.all(tri[:, 1] < tri[:, 2])
+    assert np.unique(tri, axis=0).shape[0] == 10
+
+
+def test_triangle_enumeration_validates_edges(random_graph):
+    tri = triangle_edges(random_graph)
+    assert tri.shape[0] == edge_iterator(random_graph).triangles
+    for a, b, c in tri[:50]:
+        assert random_graph.has_edge(int(a), int(b))
+        assert random_graph.has_edge(int(b), int(c))
+        assert random_graph.has_edge(int(a), int(c))
+
+
+def test_empty_and_trivial_graphs():
+    from repro.graphs import empty_graph
+
+    assert edge_iterator(empty_graph(0)).triangles == 0
+    assert edge_iterator(empty_graph(5)).triangles == 0
+    assert matrix_count(empty_graph(5)) == 0
+
+
+# ------------------------------------------------------------- wedges
+def test_wedge_count_star():
+    g = gen.star(6)  # hub degree 5 -> C(5,2)=10 wedges
+    assert wedge_count(g) == 10
+    assert wedges_per_vertex(g).tolist() == [10, 0, 0, 0, 0, 0]
+
+
+def test_wedge_count_matches_formula(random_graph):
+    d = random_graph.degrees
+    assert wedge_count(random_graph) == int((d * (d - 1) // 2).sum())
+
+
+def test_oriented_wedges_smaller_than_undirected(random_graph):
+    assert oriented_wedges(random_graph) <= wedge_count(random_graph)
+
+
+def test_wedges_reject_oriented():
+    from repro.core.orientation import orient_by_degree
+    import pytest
+
+    with pytest.raises(ValueError):
+        wedge_count(orient_by_degree(gen.ring(5)))
+
+
+def test_global_clustering_coefficient():
+    assert global_clustering_coefficient(gen.complete_graph(6)) == 1.0
+    assert global_clustering_coefficient(gen.star(5)) == 0.0
+    assert global_clustering_coefficient(gen.path(3)) == 0.0
+
+
+def test_gcc_with_precomputed_triangles():
+    g = gen.wheel(9)
+    t = edge_iterator(g).triangles
+    assert global_clustering_coefficient(g, triangles=t) == 3.0 * t / wedge_count(g)

@@ -1,0 +1,49 @@
+"""Sanity checks for the example scripts.
+
+Every example is compiled and its module-level contract (a ``main``
+callable and a module docstring with run instructions) verified; the
+cheapest example is executed end to end.  The heavier examples are
+exercised indirectly: every API they use is covered by the unit and
+benchmark suites, and they are run as part of the release checklist.
+"""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 3  # the deliverable floor; we ship six
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_has_main_and_docs(path):
+    source = path.read_text()
+    assert '"""' in source.splitlines()[0], "examples start with a docstring"
+    assert "def main(" in source
+    assert '__name__ == "__main__"' in source
+    assert "python examples/" in source, "docstring shows how to run it"
+
+
+def test_quickstart_runs_end_to_end():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "all algorithms agree" in proc.stdout

@@ -1,0 +1,297 @@
+"""Tests for the KaGen-equivalent generators and classic families."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.generators.gnm import _decode_pairs, random_edge_sample
+from repro.graphs.generators.rgg import radius_for_expected_edges
+from repro.graphs.generators.rhg import disk_radius_for_avg_degree, hyperbolic_distance
+
+
+# ---------------------------------------------------------------- classics
+def test_complete_graph_counts():
+    g = gen.complete_graph(6)
+    assert g.num_edges == 15
+    assert np.all(g.degrees == 5)
+
+
+def test_ring_and_path_degrees():
+    assert np.all(gen.ring(8).degrees == 2)
+    p = gen.path(5)
+    assert sorted(p.degrees.tolist()) == [1, 1, 2, 2, 2]
+
+
+def test_ring_requires_three():
+    with pytest.raises(ValueError):
+        gen.ring(2)
+
+
+def test_star_structure():
+    g = gen.star(9)
+    assert g.degree(0) == 8
+    assert np.all(g.degrees[1:] == 1)
+
+
+def test_grid2d_edge_count():
+    g = gen.grid2d(4, 7)
+    assert g.num_edges == 4 * 6 + 3 * 7
+
+
+def test_triangular_lattice_edge_count():
+    g = gen.triangular_lattice(3, 3)
+    assert g.num_edges == (3 * 2 + 2 * 3) + 4  # grid + diagonals
+
+
+def test_barbell_structure():
+    g = gen.barbell(4, 1)
+    assert g.num_vertices == 9
+    # 2 * C(4,2) + 2 bridge edges
+    assert g.num_edges == 12 + 2
+
+
+def test_disjoint_cliques_no_cross_edges():
+    g = gen.disjoint_cliques(3, 4)
+    e = g.undirected_edges()
+    assert np.all(e[:, 0] // 4 == e[:, 1] // 4)
+
+
+def test_wheel_structure():
+    g = gen.wheel(7)
+    assert g.degree(0) == 6
+    assert np.all(g.degrees[1:] == 3)
+
+
+# ---------------------------------------------------------------- gnm
+def test_gnm_exact_edge_count():
+    for n, m in ((10, 0), (10, 45), (100, 500), (50, 600)):
+        g = gen.gnm(n, m, seed=7)
+        assert g.num_vertices == n
+        assert g.num_edges == m
+
+
+def test_gnm_rejects_too_many_edges():
+    with pytest.raises(ValueError):
+        gen.gnm(5, 11)
+
+
+def test_gnm_deterministic():
+    a = gen.gnm(200, 900, seed=3)
+    b = gen.gnm(200, 900, seed=3)
+    assert np.array_equal(a.adjncy, b.adjncy)
+    c = gen.gnm(200, 900, seed=4)
+    assert not np.array_equal(a.adjncy, c.adjncy)
+
+
+def test_decode_pairs_roundtrip():
+    n = 37
+    codes = np.arange(n * (n - 1) // 2, dtype=np.int64)
+    pairs = _decode_pairs(codes, n)
+    assert np.all(pairs[:, 0] < pairs[:, 1])
+    # Re-encode and compare.
+    u, v = pairs[:, 0], pairs[:, 1]
+    re = u * n - u * (u + 1) // 2 + (v - u - 1)
+    assert np.array_equal(re, codes)
+
+
+def test_random_edge_sample_distinct(rng):
+    e = random_edge_sample(30, 200, rng)
+    assert e.shape == (200, 2)
+    keys = e[:, 0] * 30 + e[:, 1]
+    assert np.unique(keys).size == 200
+
+
+def test_gnm_dense_regime():
+    n = 20
+    total = n * (n - 1) // 2
+    g = gen.gnm(n, total - 3, seed=5)
+    assert g.num_edges == total - 3
+
+
+# ---------------------------------------------------------------- rgg2d
+def test_rgg_radius_formula():
+    r = radius_for_expected_edges(1000, 16000)
+    assert 0 < r < 1
+    # E[m] = C(n,2) * pi r^2 should give back about 16000
+    est = 1000 * 999 / 2 * np.pi * r * r
+    assert abs(est - 16000) < 1
+
+
+def test_rgg_expected_edges_close():
+    n = 2000
+    g = gen.rgg2d(n, expected_edges=16 * n, seed=21)
+    # Boundary effects reduce the count slightly; stay within 25 %.
+    assert 0.7 * 16 * n < g.num_edges < 1.1 * 16 * n
+
+
+def test_rgg_edges_respect_radius():
+    n = 300
+    r = 0.1
+    g = gen.rgg2d(n, radius=r, seed=5)
+    # Reconstruct points with the same seed and checks.
+    rng = np.random.default_rng(5)
+    pts = rng.random((n, 2))
+    cells = max(1, int(1.0 / r))
+    cell_xy = np.minimum((pts * cells).astype(np.int64), cells - 1)
+    cell_id = cell_xy[:, 0] * cells + cell_xy[:, 1]
+    pts = pts[np.argsort(cell_id, kind="stable")]
+    for u, v in g.undirected_edges()[:200]:
+        d = np.hypot(*(pts[u] - pts[v]))
+        assert d <= r + 1e-12
+
+
+def test_rgg_zero_radius_and_empty():
+    assert gen.rgg2d(10, radius=0.0).num_edges == 0
+    assert gen.rgg2d(0, radius=0.5).num_vertices == 0
+
+
+def test_rgg_requires_exactly_one_size_parameter():
+    with pytest.raises(ValueError):
+        gen.rgg2d(10)
+    with pytest.raises(ValueError):
+        gen.rgg2d(10, radius=0.1, expected_edges=50)
+
+
+def test_rgg_id_locality():
+    """Cell-major ids: most edges connect nearby ids (small cut)."""
+    n = 2000
+    g = gen.rgg2d(n, expected_edges=16 * n, seed=3)
+    e = g.undirected_edges()
+    med = np.median(np.abs(e[:, 0] - e[:, 1]))
+    assert med < n / 10
+
+
+# ---------------------------------------------------------------- rhg
+def test_rhg_disk_radius_monotone():
+    r1 = disk_radius_for_avg_degree(10000, 8, 0.9)
+    r2 = disk_radius_for_avg_degree(10000, 32, 0.9)
+    assert r1 > r2 > 0
+
+
+def test_rhg_rejects_bad_alpha():
+    with pytest.raises(ValueError):
+        disk_radius_for_avg_degree(100, 8, 0.5)
+
+
+def test_hyperbolic_distance_symmetry_and_zero():
+    r = np.array([1.0, 2.0])
+    t = np.array([0.3, 4.0])
+    assert np.allclose(
+        hyperbolic_distance(r[0], t[0], r[1], t[1]),
+        hyperbolic_distance(r[1], t[1], r[0], t[0]),
+    )
+    self_d = hyperbolic_distance(np.array(1.5), np.array(2.0), np.array(1.5), np.array(2.0))
+    assert self_d == pytest.approx(0.0, abs=1e-6)
+
+
+def test_rhg_average_degree_in_range():
+    n = 4000
+    g = gen.rhg(n, avg_degree=16, gamma=2.8, seed=8)
+    avg = 2 * g.num_edges / n
+    assert 8 < avg < 32  # the analytic radius is approximate
+
+
+def test_rhg_power_law_tail():
+    """Heavy tail: the max degree should far exceed the average."""
+    n = 4000
+    g = gen.rhg(n, avg_degree=12, gamma=2.8, seed=9)
+    avg = 2 * g.num_edges / n
+    assert g.max_degree() > 6 * avg
+
+
+def test_rhg_small_and_deterministic():
+    assert gen.rhg(1, avg_degree=4).num_vertices == 1
+    a = gen.rhg(300, avg_degree=8, seed=2)
+    b = gen.rhg(300, avg_degree=8, seed=2)
+    assert np.array_equal(a.adjncy, b.adjncy)
+
+
+# ---------------------------------------------------------------- rmat
+def test_rmat_sizes():
+    g = gen.rmat(8, 8, seed=1)
+    assert g.num_vertices == 256
+    # Simplification removes duplicates/self-loops; stay in range.
+    assert 0.5 * 8 * 256 < g.num_edges <= 8 * 256
+
+
+def test_rmat_skewed_degrees():
+    g = gen.rmat(11, 16, seed=2)
+    avg = 2 * g.num_edges / g.num_vertices
+    assert g.max_degree() > 8 * avg
+
+
+def test_rmat_deterministic_and_seed_sensitivity():
+    a = gen.rmat(8, 8, seed=3)
+    b = gen.rmat(8, 8, seed=3)
+    c = gen.rmat(8, 8, seed=4)
+    assert np.array_equal(a.adjncy, b.adjncy)
+    assert not np.array_equal(a.adjncy, c.adjncy)
+
+
+def test_rmat_scale_zero():
+    g = gen.rmat(0, 4, seed=1)
+    assert g.num_vertices == 1
+    assert g.num_edges == 0
+
+
+def test_rmat_rejects_bad_probs():
+    with pytest.raises(ValueError):
+        gen.rmat(4, 4, probs=(0.5, 0.5, 0.5, 0.5))
+    with pytest.raises(ValueError):
+        gen.rmat(-1, 4)
+
+
+def test_rmat_no_scramble_is_different_labelling():
+    a = gen.rmat(8, 8, seed=5, scramble=False)
+    b = gen.rmat(8, 8, seed=5, scramble=True)
+    assert a.num_edges == pytest.approx(b.num_edges, rel=0.2)
+
+
+# ---------------------------------------------------------------- rgg3d
+def test_rgg3d_expected_edges_close():
+    n = 3000
+    g = gen.rgg3d(n, expected_edges=16 * n, seed=21)
+    assert 0.6 * 16 * n < g.num_edges < 1.15 * 16 * n
+
+
+def test_rgg3d_matches_brute_force():
+    """Cell-sweep output equals the quadratic check on a small instance."""
+    n, r = 150, 0.22
+    g = gen.rgg3d(n, radius=r, seed=8)
+    rng = np.random.default_rng(8)
+    pts = rng.random((n, 3))
+    cells = max(1, int(1.0 / r))
+    cell_xyz = np.minimum((pts * cells).astype(np.int64), cells - 1)
+    cell_id = (cell_xyz[:, 0] * cells + cell_xyz[:, 1]) * cells + cell_xyz[:, 2]
+    pts = pts[np.argsort(cell_id, kind="stable")]
+    expected = 0
+    for i in range(n):
+        d = pts[i + 1 :] - pts[i]
+        expected += int(np.count_nonzero((d * d).sum(axis=1) <= r * r))
+    assert g.num_edges == expected
+
+
+def test_rgg3d_deterministic_and_validated():
+    a = gen.rgg3d(400, expected_edges=3000, seed=3)
+    b = gen.rgg3d(400, expected_edges=3000, seed=3)
+    assert np.array_equal(a.adjncy, b.adjncy)
+    assert gen.rgg3d(0, radius=0.5).num_vertices == 0
+    with pytest.raises(ValueError):
+        gen.rgg3d(10)
+
+
+def test_rgg3d_radius_formula():
+    n, m = 2000, 32000
+    from repro.graphs.generators.rgg import radius_for_expected_edges_3d
+
+    r = radius_for_expected_edges_3d(n, m)
+    est = n * (n - 1) / 2 * 4.0 / 3.0 * np.pi * r**3
+    assert est == pytest.approx(m, rel=1e-6)
+
+
+def test_rgg3d_id_locality():
+    n = 2000
+    g = gen.rgg3d(n, expected_edges=16 * n, seed=5)
+    e = g.undirected_edges()
+    med = np.median(np.abs(e[:, 0] - e[:, 1]))
+    assert med < n / 6

@@ -1,0 +1,85 @@
+"""Tests for the hybrid threads x ranks model (Fig. 8)."""
+
+import pytest
+
+from repro.core.hybrid import (
+    PHI_DEFAULT,
+    SIGMA_DEFAULT,
+    HybridResult,
+    run_hybrid,
+    thread_speedup,
+)
+from repro.graphs import generators as gen
+
+
+def test_speedup_monotone_but_sublinear():
+    s = [thread_speedup(t) for t in (1, 2, 4, 6, 12)]
+    assert s[0] == 1.0
+    assert all(b > a for a, b in zip(s, s[1:]))
+    assert s[-1] < 2.0  # the paper's ceiling
+
+
+def test_speedup_calibrated_to_paper():
+    assert thread_speedup(12, SIGMA_DEFAULT) == pytest.approx(1.67, abs=0.05)
+
+
+def test_speedup_validates_threads():
+    with pytest.raises(ValueError):
+        thread_speedup(0)
+
+
+@pytest.fixture(scope="module")
+def orkut_like():
+    return gen.rhg(2048, avg_degree=24, gamma=3.0, seed=11)
+
+
+def test_run_hybrid_validates_divisibility(orkut_like):
+    with pytest.raises(ValueError):
+        run_hybrid(orkut_like, cores=12, threads=5)
+
+
+def test_hybrid_t1_matches_flat_run(orkut_like):
+    r = run_hybrid(orkut_like, cores=8, threads=1)
+    assert r.ranks == 8
+    assert r.global_time == pytest.approx(r.global_time)  # funnel factor 1 at t=1
+    assert r.triangles > 0
+
+
+def test_hybrid_reduces_volume_with_threads(orkut_like):
+    """Fewer ranks => fewer cut edges => less communication volume."""
+    flat = run_hybrid(orkut_like, cores=8, threads=1)
+    hybrid = run_hybrid(orkut_like, cores=8, threads=4)
+    assert hybrid.total_volume < flat.total_volume
+    assert hybrid.triangles == flat.triangles
+
+
+def test_hybrid_local_phase_speeds_up(orkut_like):
+    flat = run_hybrid(orkut_like, cores=8, threads=1)
+    hybrid = run_hybrid(orkut_like, cores=8, threads=4)
+    # Same per-rank local work at 2 ranks would be ~4x of 8 ranks, but
+    # the thread speedup divides it; the *ratio* local_time/volume must
+    # show the speedup: compare against an unthreaded 2-rank run.
+    unthreaded_2ranks = run_hybrid(orkut_like, cores=2, threads=1)
+    assert hybrid.local_time < unthreaded_2ranks.local_time
+
+
+def test_hybrid_global_phase_is_bottleneck(orkut_like):
+    """The funneled comm thread makes hybrid configs no faster overall."""
+    times = {
+        t: run_hybrid(orkut_like, cores=8, threads=t).total_time for t in (1, 2, 4, 8)
+    }
+    # Paper: hybrid ends up slower than plain MPI (t=1 is the best).
+    assert min(times, key=times.get) == 1
+    # The funnel factor inflates the global phase beyond its share of
+    # the volume: per-word global time grows with the thread count.
+    r1 = run_hybrid(orkut_like, cores=8, threads=1)
+    r2 = run_hybrid(orkut_like, cores=8, threads=2)
+    assert r2.total_volume < r1.total_volume  # fewer ranks, less traffic
+    per_word_1 = r1.global_time / max(r1.total_volume, 1)
+    per_word_2 = r2.global_time / max(r2.total_volume, 1)
+    assert per_word_2 > per_word_1
+
+
+def test_total_time_is_sum_of_parts(orkut_like):
+    r = run_hybrid(orkut_like, cores=4, threads=2)
+    assert r.total_time == pytest.approx(r.local_time + r.global_time + r.other_time)

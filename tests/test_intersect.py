@@ -1,0 +1,116 @@
+"""Tests for the vectorized intersection kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core.intersect import (
+    batch_intersect_count,
+    batch_intersect_elements,
+    concat_xadj,
+    gather_blocks,
+    intersect_count,
+    intersect_sorted,
+    merge_cost,
+)
+
+
+def _arr(*xs):
+    return np.array(xs, dtype=np.int64)
+
+
+def test_intersect_count_basic():
+    assert intersect_count(_arr(1, 3, 5), _arr(3, 4, 5, 6)) == 2
+    assert intersect_count(_arr(), _arr(1)) == 0
+    assert intersect_count(_arr(1), _arr()) == 0
+    assert intersect_count(_arr(1, 2), _arr(3, 4)) == 0
+
+
+def test_intersect_count_swaps_for_smaller_needle():
+    big = np.arange(100, dtype=np.int64)
+    small = _arr(5, 50, 150)
+    assert intersect_count(big, small) == intersect_count(small, big) == 2
+
+
+def test_intersect_sorted_elements():
+    out = intersect_sorted(_arr(1, 3, 5, 9), _arr(0, 3, 9, 12))
+    assert out.tolist() == [3, 9]
+    assert intersect_sorted(_arr(), _arr(1)).size == 0
+
+
+def test_merge_cost():
+    assert merge_cost(3, 4) == 7
+
+
+def test_concat_xadj():
+    assert concat_xadj(_arr(2, 0, 3)).tolist() == [0, 2, 2, 5]
+    assert concat_xadj(np.array([], dtype=np.int64)).tolist() == [0]
+
+
+def test_gather_blocks():
+    xadj = _arr(0, 2, 2, 5)
+    adj = _arr(10, 11, 20, 21, 22)
+    cat, out_xadj = gather_blocks(xadj, adj, _arr(2, 0, 1, 2))
+    assert cat.tolist() == [20, 21, 22, 10, 11, 20, 21, 22]
+    assert out_xadj.tolist() == [0, 3, 5, 5, 8]
+
+
+def test_gather_blocks_empty_selection():
+    cat, out_xadj = gather_blocks(_arr(0, 2), _arr(1, 2), np.array([], dtype=np.int64))
+    assert cat.size == 0
+    assert out_xadj.tolist() == [0]
+
+
+def test_batch_count_matches_scalar(rng):
+    # random pairs of sorted unique arrays
+    k = 40
+    a_blocks = [np.unique(rng.integers(0, 60, size=rng.integers(0, 15))) for _ in range(k)]
+    b_blocks = [np.unique(rng.integers(0, 60, size=rng.integers(0, 15))) for _ in range(k)]
+    a_cat = np.concatenate(a_blocks) if k else np.empty(0)
+    b_cat = np.concatenate(b_blocks)
+    a_x = concat_xadj(np.array([b.size for b in a_blocks]))
+    b_x = concat_xadj(np.array([b.size for b in b_blocks]))
+    res = batch_intersect_count(a_cat, a_x, b_cat, b_x, 60)
+    expected = [intersect_count(a, b) for a, b in zip(a_blocks, b_blocks)]
+    assert res.counts.tolist() == expected
+    assert res.ops == a_cat.size + b_cat.size
+    assert res.total == sum(expected)
+
+
+def test_batch_count_empty_batch():
+    e = np.empty(0, dtype=np.int64)
+    res = batch_intersect_count(e, _arr(0), e, _arr(0), 10)
+    assert res.counts.size == 0
+    assert res.total == 0
+
+
+def test_batch_count_mismatched_pairs_rejected():
+    e = np.empty(0, dtype=np.int64)
+    with pytest.raises(ValueError):
+        batch_intersect_count(e, _arr(0, 0), e, _arr(0), 10)
+
+
+def test_batch_elements_returns_hits():
+    a_cat = _arr(1, 3, 5, 2, 4)
+    a_x = _arr(0, 3, 5)
+    b_cat = _arr(3, 5, 7, 4)
+    b_x = _arr(0, 3, 4)
+    pair_idx, elements, ops = batch_intersect_elements(a_cat, a_x, b_cat, b_x, 10)
+    assert pair_idx.tolist() == [0, 0, 1]
+    assert elements.tolist() == [3, 5, 4]
+    assert ops == 9
+
+
+def test_batch_elements_empty():
+    e = np.empty(0, dtype=np.int64)
+    pair_idx, elements, _ = batch_intersect_elements(e, _arr(0), e, _arr(0), 10)
+    assert pair_idx.size == 0 and elements.size == 0
+
+
+def test_batch_no_cross_pair_contamination():
+    """Same values in different pairs must not match across pairs."""
+    a_cat = _arr(7, 7)
+    a_x = _arr(0, 1, 2)
+    b_cat = _arr(8, 7)
+    b_x = _arr(0, 1, 2)
+    res = batch_intersect_count(a_cat, a_x, b_cat, b_x, 10)
+    assert res.counts.tolist() == [0, 1]

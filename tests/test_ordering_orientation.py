@@ -1,0 +1,97 @@
+"""Tests for the degree-based total order and graph orientation."""
+
+import numpy as np
+import pytest
+
+from repro.core.ordering import DegreeOrder, degree_order_keys, precedes
+from repro.core.orientation import is_acyclic_orientation, orient, orient_by_degree, out_neighborhoods
+from repro.graphs import generators as gen
+
+
+def test_precedes_degree_then_id():
+    assert precedes(1, 5, 2, 3)  # lower degree wins
+    assert precedes(2, 3, 2, 5)  # tie broken by id
+    assert not precedes(2, 5, 2, 3)
+
+
+def test_degree_order_keys_consistent_with_precedes(rng):
+    degs = rng.integers(0, 20, size=30)
+    ids = np.arange(30)
+    keys = degree_order_keys(degs, ids)
+    for _ in range(200):
+        i, j = rng.integers(0, 30, size=2)
+        if i == j:
+            continue
+        assert (keys[i] < keys[j]) == precedes(degs[i], i, degs[j], j)
+
+
+def test_degree_order_is_total(random_graph):
+    order = DegreeOrder.from_degrees(random_graph.degrees)
+    assert np.unique(order.keys).size == order.num_vertices
+
+
+def test_rank_permutation_sorts_keys():
+    order = DegreeOrder.from_degrees(np.array([5, 1, 3, 1]))
+    perm = order.rank_permutation()
+    # vertex 1 (deg 1, lowest id) first, then 3, then 2, then 0
+    assert perm.tolist() == [3, 0, 2, 1]
+
+
+def test_orientation_halves_arcs(random_graph):
+    og = orient_by_degree(random_graph)
+    assert og.oriented
+    assert og.num_arcs == random_graph.num_edges
+    assert og.check_sorted()
+
+
+def test_orientation_is_acyclic(random_graph):
+    og = orient_by_degree(random_graph)
+    assert is_acyclic_orientation(og)
+
+
+def test_is_acyclic_rejects_undirected_input():
+    with pytest.raises(ValueError):
+        is_acyclic_orientation(gen.ring(4))
+
+
+def test_orientation_reduces_max_outdegree_on_star():
+    """Degree orientation points edges at the hub: its out-degree is 0."""
+    g = gen.star(50)
+    og = orient_by_degree(g)
+    assert og.degree(0) == 0
+    assert np.all(og.degrees[1:] == 1)
+
+
+def test_orient_rejects_oriented_input():
+    og = orient_by_degree(gen.ring(5))
+    with pytest.raises(ValueError):
+        orient_by_degree(og)
+
+
+def test_orient_rejects_size_mismatch():
+    order = DegreeOrder.from_degrees(np.array([1, 1]))
+    with pytest.raises(ValueError):
+        orient(gen.ring(5), order)
+
+
+def test_out_neighborhoods_idempotent_on_oriented():
+    og = orient_by_degree(gen.complete_graph(5))
+    xadj, adjncy = out_neighborhoods(og)
+    assert xadj is og.xadj
+    assert adjncy is og.adjncy
+
+
+def test_out_degree_bound():
+    """Degree orientation bounds out-degree by O(sqrt(m))."""
+    g = gen.rmat(11, 16, seed=4)
+    og = orient_by_degree(g)
+    bound = 3 * int(np.sqrt(2 * g.num_edges)) + 1
+    assert og.max_degree() <= bound
+
+
+def test_every_edge_oriented_exactly_once(random_graph):
+    og = orient_by_degree(random_graph)
+    oriented = set(map(tuple, og.edges()))
+    undirected = set(map(tuple, random_graph.undirected_edges()))
+    covered = {(min(u, v), max(u, v)) for u, v in oriented}
+    assert covered == undirected

@@ -1,0 +1,108 @@
+"""Tests for the process-parallel backend (real OS processes + pipes)."""
+
+import numpy as np
+import pytest
+
+from repro.core.edge_iterator import edge_iterator
+from repro.core.engine import EngineConfig, counting_program
+from repro.core.lcc import lcc_program, lcc_sequential
+from repro.graphs import distribute
+from repro.graphs import generators as gen
+from repro.net import Machine, MachineSpec, OutOfMemoryError
+from repro.net.parallel import ProcessMachine, RemoteDist
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gen.rgg2d(600, expected_edges=5000, seed=21)
+
+
+@pytest.fixture(scope="module")
+def truth(graph):
+    return edge_iterator(graph).triangles
+
+
+@pytest.mark.parametrize("p", [1, 2, 4])
+@pytest.mark.parametrize(
+    "cfg",
+    [EngineConfig(), EngineConfig(contraction=True), EngineConfig(indirect=True)],
+    ids=["ditric", "cetric", "ditric2"],
+)
+def test_parallel_counts_match_truth(p, cfg, graph, truth):
+    dist = distribute(graph, num_pes=p)
+    res = ProcessMachine(p).run(counting_program, dist, cfg)
+    assert res.values[0].triangles_total == truth
+    assert all(v.triangles_total == truth for v in res.values)
+
+
+def test_parallel_matches_simulator_metrics(graph):
+    """Counts, volumes and message counts are backend-independent."""
+    p = 4
+    dist = distribute(graph, num_pes=p)
+    cfg = EngineConfig(contraction=True)
+    par = ProcessMachine(p).run(counting_program, dist, cfg)
+    sim = Machine(p).run(counting_program, dist, cfg)
+    assert par.values[0].triangles_total == sim.values[0].triangles_total
+    assert par.metrics.total_volume == sim.metrics.total_volume
+    assert par.metrics.total_messages == sim.metrics.total_messages
+    for pm, sm in zip(par.metrics.per_pe, sim.metrics.per_pe):
+        assert pm.words_sent == sm.words_sent
+        assert pm.local_ops == sm.local_ops
+
+
+def test_parallel_lcc(graph):
+    p = 3
+    dist = distribute(graph, num_pes=p)
+    res = ProcessMachine(p).run(lcc_program, dist, EngineConfig(contraction=True))
+    got = np.concatenate([v.lcc for v in res.values])
+    assert np.allclose(got, lcc_sequential(graph))
+
+
+def test_parallel_baselines(graph, truth):
+    from repro.baselines.havoqgt import havoqgt_program
+    from repro.baselines.tric import tric_program
+
+    dist = distribute(graph, num_pes=3)
+    assert ProcessMachine(3).run(tric_program, dist).values[0].triangles_total == truth
+    assert (
+        ProcessMachine(3).run(havoqgt_program, dist).values[0].triangles_total == truth
+    )
+
+
+def test_parallel_oom_propagates():
+    g = gen.rmat(8, 16, seed=2)
+    dist = distribute(g, num_pes=4)
+    from repro.baselines.tric import tric_program
+
+    tight = MachineSpec(memory_words=50)
+    with pytest.raises(OutOfMemoryError):
+        ProcessMachine(4, tight).run(tric_program, dist)
+
+
+def test_parallel_worker_exception_surfaces():
+    def bad_program(ctx, dist, cfg):
+        if ctx.rank == 1:
+            raise ValueError("boom")
+        yield
+        return 0
+
+    g = gen.ring(8)
+    dist = distribute(g, num_pes=2)
+    with pytest.raises(RuntimeError, match="boom"):
+        ProcessMachine(2, timeout=30).run(bad_program, dist, EngineConfig())
+
+
+def test_remote_dist_isolation(graph):
+    """A worker physically cannot read another PE's view."""
+    dist = distribute(graph, num_pes=3)
+    view = dist.view(1)
+    remote = RemoteDist(view, dist.num_vertices, dist.num_edges, dist.name)
+    assert remote.view(1) is view
+    with pytest.raises(KeyError):
+        remote.view(0)
+    assert remote.num_pes == 3
+
+
+def test_parallel_requires_positive_pes():
+    with pytest.raises(ValueError):
+        ProcessMachine(0)

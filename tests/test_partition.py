@@ -1,0 +1,93 @@
+"""Unit tests for 1D ID partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import partition_by_edges, partition_by_vertices
+from repro.graphs.generators import rmat, star
+from repro.graphs.partition import Partition
+
+
+def test_even_split():
+    p = partition_by_vertices(12, 4)
+    assert p.num_pes == 4
+    assert [p.owned_count(i) for i in range(4)] == [3, 3, 3, 3]
+
+
+def test_uneven_split_front_loaded():
+    p = partition_by_vertices(10, 4)
+    assert [p.owned_count(i) for i in range(4)] == [3, 3, 2, 2]
+    assert p.num_vertices == 10
+
+
+def test_more_pes_than_vertices():
+    p = partition_by_vertices(3, 8)
+    counts = [p.owned_count(i) for i in range(8)]
+    assert sum(counts) == 3
+    assert max(counts) == 1
+
+
+def test_zero_vertices():
+    p = partition_by_vertices(0, 3)
+    assert p.num_vertices == 0
+    assert all(p.owned_count(i) == 0 for i in range(3))
+
+
+def test_rank_of_vectorized():
+    p = partition_by_vertices(10, 3)  # [0,4), [4,7), [7,10)
+    ranks = p.rank_of(np.arange(10))
+    assert ranks.tolist() == [0, 0, 0, 0, 1, 1, 1, 2, 2, 2]
+    assert p.rank_of_one(4) == 1
+
+
+def test_rank_of_rejects_out_of_range():
+    p = partition_by_vertices(5, 2)
+    with pytest.raises(ValueError):
+        p.rank_of(np.array([5]))
+    with pytest.raises(ValueError):
+        p.rank_of(np.array([-1]))
+
+
+def test_is_local():
+    p = partition_by_vertices(10, 2)
+    assert p.is_local(0, np.array([0, 4, 5])).tolist() == [True, True, False]
+
+
+def test_global_order_property():
+    """rank(v) < rank(w) implies v < w (Section II-B)."""
+    p = partition_by_vertices(100, 7)
+    v = np.arange(100)
+    r = p.rank_of(v)
+    assert np.all(np.diff(r) >= 0)
+
+
+def test_invalid_bounds_rejected():
+    with pytest.raises(ValueError):
+        Partition(np.array([1, 5]))
+    with pytest.raises(ValueError):
+        Partition(np.array([0, 5, 3]))
+    with pytest.raises(ValueError):
+        Partition(np.array([0]))
+
+
+def test_partition_by_edges_balances_arcs():
+    g = rmat(10, 16, seed=5)
+    p = partition_by_edges(g, 8)
+    arcs = [int(g.xadj[p.owner_range(i)[1]] - g.xadj[p.owner_range(i)[0]]) for i in range(8)]
+    assert sum(arcs) == g.num_arcs
+    # Each PE within 2x of the mean despite skew (hubs may force slack).
+    mean = g.num_arcs / 8
+    assert max(arcs) < 2.5 * mean
+
+
+def test_partition_by_edges_star_degenerate():
+    """One hub holding almost all arcs: boundaries stay monotone."""
+    g = star(100)
+    p = partition_by_edges(g, 4)
+    assert p.num_vertices == 100
+    assert np.all(np.diff(p.bounds) >= 0)
+
+
+def test_partition_single_pe():
+    p = partition_by_vertices(5, 1)
+    assert p.owner_range(0) == (0, 5)

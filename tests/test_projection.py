@@ -1,0 +1,107 @@
+"""Tests for the large-p projection module."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.projection import (
+    PowerLaw,
+    fit_power_law,
+    fit_scaling_model,
+    project_time,
+)
+from repro.analysis.runner import RunResult
+from repro.net.costmodel import MachineSpec
+
+
+def test_power_law_exact_recovery():
+    ps = np.array([1, 2, 4, 8, 16], dtype=float)
+    law = fit_power_law(ps, 3.0 * ps**1.5)
+    assert law.coefficient == pytest.approx(3.0)
+    assert law.exponent == pytest.approx(1.5)
+    assert law(32) == pytest.approx(3.0 * 32**1.5)
+
+
+def test_power_law_single_point_is_constant():
+    law = fit_power_law(np.array([4.0]), np.array([7.0]))
+    assert law(100) == pytest.approx(7.0)
+
+
+def test_power_law_handles_zeros():
+    law = fit_power_law(np.array([1.0, 2.0, 4.0]), np.array([0.0, 0.0, 0.0]))
+    assert law(1024) < 1e-6
+
+
+def test_power_law_empty_rejected():
+    with pytest.raises(ValueError):
+        fit_power_law(np.array([]), np.array([]))
+
+
+def _rows(algo, law_msgs, law_vol, law_work, ps=(2, 4, 8, 16)):
+    return [
+        RunResult(
+            algo,
+            "g",
+            p,
+            1,
+            1.0,
+            max_messages=int(law_msgs(p)),
+            bottleneck_volume=int(law_vol(p)),
+            total_ops=int(law_work(p) * p),
+        )
+        for p in ps
+    ]
+
+
+def test_fit_scaling_model_recovers_laws():
+    rows = _rows(
+        "ditric",
+        lambda p: 10 * p**0.5,
+        lambda p: 100 * p,
+        lambda p: 5000.0,
+    )
+    model = fit_scaling_model(rows, "ditric")
+    assert model.messages.exponent == pytest.approx(0.5, abs=0.05)
+    assert model.volume.exponent == pytest.approx(1.0, abs=0.05)
+    assert model.work.exponent == pytest.approx(0.0, abs=0.05)
+
+
+def test_fit_requires_rows():
+    with pytest.raises(ValueError):
+        fit_scaling_model([], "ditric")
+    with pytest.raises(ValueError):
+        fit_scaling_model(
+            [RunResult("ditric", "g", 2, None, None, failed="out-of-memory")], "ditric"
+        )
+
+
+def test_projection_reproduces_alpha_p_wall():
+    """Synthetic: a dense-exchange algorithm (messages ~ p) must lose
+    to a sparse one (messages ~ sqrt(p)) beyond some machine size."""
+    spec = MachineSpec(alpha=2e-6, beta=6.4e-10, flop_time=1e-9)
+    dense = _rows("dense", lambda p: p - 1, lambda p: 200.0, lambda p: 3000.0)
+    sparse = _rows("sparse", lambda p: 4 * p**0.5, lambda p: 400.0, lambda p: 3000.0)
+    proj = project_time(dense + sparse, ["dense", "sparse"], [2**k for k in range(1, 16)], spec=spec)
+    d = dict(proj["dense"])
+    s = dict(proj["sparse"])
+    # At small p dense is fine; at 2^15 its alpha*p term dominates.
+    assert d[2] <= s[2] * 1.5
+    assert d[2**15] > 2 * s[2**15]
+
+
+def test_projection_matches_simulation_in_range():
+    """Held-out validation: fit on p in {1..8}, predict p=16 within 2x."""
+    from repro.analysis.sweep import weak_scaling
+    from repro.graphs import generators as gen
+
+    rows = weak_scaling(
+        lambda n, s: gen.rgg2d(n, expected_edges=16 * n, seed=s),
+        ["ditric"],
+        [1, 2, 4, 8, 16],
+        vertices_per_pe=512,
+        scale_memory=False,
+    )
+    fit_rows = [r for r in rows if r.num_pes <= 8]
+    model = fit_scaling_model(fit_rows, "ditric")
+    actual = next(r.time for r in rows if r.num_pes == 16)
+    predicted = float(model.time(16))
+    assert predicted == pytest.approx(actual, rel=1.0)  # within 2x

@@ -1,0 +1,109 @@
+"""Tests for vertex reordering utilities and the ASCII plot renderer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.plot import ascii_plot, plot_results
+from repro.analysis.runner import RunResult
+from repro.core.edge_iterator import edge_iterator
+from repro.graphs import generators as gen
+from repro.graphs import relabel
+from repro.graphs.reorder import bfs_order, cut_fraction, degree_order, random_order
+
+
+# ------------------------------------------------------------- reorder
+def test_bfs_order_is_permutation(random_graph):
+    perm = bfs_order(random_graph)
+    assert np.array_equal(np.sort(perm), np.arange(random_graph.num_vertices))
+
+
+def test_bfs_order_handles_disconnected():
+    g = gen.disjoint_cliques(3, 4)
+    perm = bfs_order(g)
+    assert np.array_equal(np.sort(perm), np.arange(12))
+
+
+def test_bfs_restores_locality_after_shuffle():
+    base = gen.grid2d(24, 24)
+    shuffled = relabel(base, random_order(base, seed=3))
+    restored = relabel(shuffled, bfs_order(shuffled))
+    p = 8
+    assert cut_fraction(shuffled, p) > 0.5
+    assert cut_fraction(restored, p) < 0.35
+    # Counting is invariant under all of it.
+    t = edge_iterator(base).triangles
+    assert edge_iterator(shuffled).triangles == t
+    assert edge_iterator(restored).triangles == t
+
+
+def test_random_order_deterministic_per_seed(random_graph):
+    a = random_order(random_graph, seed=5)
+    b = random_order(random_graph, seed=5)
+    c = random_order(random_graph, seed=6)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_degree_order_sorts_degrees(random_graph):
+    perm = degree_order(random_graph)
+    relabeled = relabel(random_graph, perm)
+    d = relabeled.degrees
+    assert np.all(np.diff(d) >= 0)
+
+
+def test_degree_order_numbering_matches_total_order():
+    g = gen.star(8)
+    perm = degree_order(g)
+    # Hub (highest degree) gets the last id.
+    assert perm[0] == g.num_vertices - 1
+
+
+def test_cut_fraction_bounds(random_graph):
+    f = cut_fraction(random_graph, 4)
+    assert 0.0 <= f <= 1.0
+    assert cut_fraction(gen.disjoint_cliques(4, 4), 4) == 0.0
+
+
+def test_cut_fraction_empty():
+    from repro.graphs import empty_graph
+
+    assert cut_fraction(empty_graph(5), 2) == 0.0
+
+
+# ------------------------------------------------------------- plot
+def test_ascii_plot_renders_all_series():
+    out = ascii_plot(
+        {"a": [(1, 1.0), (2, 0.5), (4, 0.25)], "b": [(1, 2.0), (4, 2.0)]},
+        title="demo",
+    )
+    assert "demo" in out
+    assert "o a" in out and "x b" in out
+    assert "log-log" in out
+
+
+def test_ascii_plot_skips_failures_and_empty():
+    out = ascii_plot({"a": [(1, None), (2, 1.0)]})
+    assert "o a" in out
+    assert "(no data)" in ascii_plot({"a": [(1, None)]})
+
+
+def test_ascii_plot_single_point():
+    out = ascii_plot({"only": [(4, 3.0)]})
+    assert "o only" in out
+
+
+def test_plot_results_from_runresults():
+    rows = [
+        RunResult("ditric", "g", 2, 5, 0.5),
+        RunResult("ditric", "g", 4, 5, 0.3),
+        RunResult("tric", "g", 2, None, None, failed="out-of-memory"),
+        RunResult("tric", "g", 4, 5, 0.9),
+    ]
+    out = plot_results(rows, "time", title="sweep")
+    assert "sweep" in out
+    assert "ditric" in out and "tric" in out
+
+
+def test_plot_overlapping_points_marked():
+    out = ascii_plot({"a": [(1, 1.0)], "b": [(1, 1.0)]})
+    assert "*" in out  # collision marker

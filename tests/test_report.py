@@ -1,0 +1,45 @@
+"""Tests for the quick evaluation report generator."""
+
+import pytest
+
+from repro.analysis.report import generate_report
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return generate_report(scale=0.05, pe_counts=(2, 4), datasets=("europe",))
+
+
+def test_report_structure(report_text):
+    assert report_text.startswith("# repro quick evaluation report")
+    assert "## Dataset stand-ins" in report_text
+    assert "## Strong scaling on europe" in report_text
+    assert "## Phase breakdown" in report_text
+    assert "Triangle types" in report_text
+    assert "generated in" in report_text
+
+
+def test_report_contains_metrics(report_text):
+    assert "bottleneck_volume" in report_text
+    assert "transitivity" in report_text
+    assert "doulion" in report_text
+
+
+def test_report_rejects_unknown_dataset():
+    with pytest.raises(KeyError):
+        generate_report(scale=0.05, datasets=("atlantis",))
+
+
+def test_report_cli_to_file(tmp_path, capsys):
+    out = tmp_path / "report.md"
+    rc = main(["report", "--scale", "0.05", "--pes", "2", "-o", str(out)])
+    assert rc == 0
+    assert "written to" in capsys.readouterr().out
+    assert out.read_text().startswith("# repro quick evaluation report")
+
+
+def test_report_cli_stdout(capsys):
+    rc = main(["report", "--scale", "0.05", "--pes", "2"])
+    assert rc == 0
+    assert "# repro quick evaluation report" in capsys.readouterr().out

@@ -1,0 +1,151 @@
+"""Tests for graph statistics, degeneracy ordering, distributed k-core."""
+
+import numpy as np
+import pytest
+
+from repro.core.kcore import h_index, kcore_program
+from repro.graphs import distribute
+from repro.graphs import generators as gen
+from repro.graphs.stats import (
+    DegreeSummary,
+    connected_components,
+    core_numbers,
+    degeneracy,
+    degeneracy_order,
+    degree_summary,
+)
+from repro.net import Machine
+
+
+# -------------------------------------------------------------- summary
+def test_degree_summary_fields():
+    s = degree_summary(gen.star(11))
+    assert s.min == 1 and s.max == 10
+    assert s.mean == pytest.approx(20 / 11)
+    assert s.skew > 5
+
+
+def test_degree_summary_empty():
+    s = DegreeSummary.of(np.empty(0, dtype=np.int64))
+    assert s.max == 0 and s.skew == 1.0
+
+
+# ---------------------------------------------------------- components
+def test_connected_components_counts():
+    g = gen.disjoint_cliques(3, 4)
+    count, labels = connected_components(g)
+    assert count == 3
+    assert np.unique(labels).size == 3
+
+
+def test_connected_components_single():
+    count, _ = connected_components(gen.ring(9))
+    assert count == 1
+
+
+def test_connected_components_empty():
+    from repro.graphs import empty_graph
+
+    count, labels = connected_components(empty_graph(0))
+    assert count == 0 and labels.size == 0
+
+
+# ------------------------------------------------------------ k-cores
+def test_core_numbers_match_networkx(random_graph):
+    import networkx as nx
+
+    cores = core_numbers(random_graph)
+    expected = nx.core_number(random_graph.to_networkx())
+    assert cores.tolist() == [expected[v] for v in range(random_graph.num_vertices)]
+
+
+def test_core_numbers_known_values():
+    assert core_numbers(gen.complete_graph(5)).tolist() == [4] * 5
+    assert core_numbers(gen.ring(6)).tolist() == [2] * 6
+    assert core_numbers(gen.star(5)).tolist() == [1] * 5
+    assert core_numbers(gen.path(4)).tolist() == [1] * 4
+
+
+def test_core_numbers_rejects_oriented():
+    from repro.core.orientation import orient_by_degree
+
+    with pytest.raises(ValueError):
+        core_numbers(orient_by_degree(gen.ring(5)))
+
+
+def test_degeneracy_values():
+    assert degeneracy(gen.complete_graph(6)) == 5
+    assert degeneracy(gen.triangular_lattice(5, 5)) >= 2
+    from repro.graphs import empty_graph
+
+    assert degeneracy(empty_graph(3)) == 0
+
+
+def test_degeneracy_order_bounds_outdegree(random_graph):
+    """Orienting by the peel order bounds out-degrees by the degeneracy."""
+    from repro.core.orientation import orient
+
+    order = degeneracy_order(random_graph)
+    og = orient(random_graph, order)
+    assert og.max_degree() <= degeneracy(random_graph)
+
+
+def test_degeneracy_orientation_counts_correctly(random_graph):
+    from repro.core.edge_iterator import edge_iterator
+    from repro.core.orientation import orient
+
+    truth = edge_iterator(random_graph).triangles
+    og = orient(random_graph, degeneracy_order(random_graph))
+    assert edge_iterator(og).triangles == truth
+
+
+def test_degeneracy_vs_degree_ordering_on_skewed():
+    """On heavy-tailed graphs the degeneracy orientation produces no
+    more oriented wedges than the sqrt(m) guarantee of degree order."""
+    from repro.core.orientation import orient, orient_by_degree
+
+    g = gen.rhg(2000, avg_degree=16, gamma=2.6, seed=9)
+    d_deg = orient_by_degree(g).max_degree()
+    d_degen = orient(g, degeneracy_order(g)).max_degree()
+    assert d_degen <= d_deg * 1.5  # typically strictly smaller
+    assert d_degen <= degeneracy(g)
+
+
+# --------------------------------------------------------- distributed
+def test_h_index_basic():
+    assert h_index(np.array([3, 3, 3])) == 3
+    assert h_index(np.array([5, 1])) == 1
+    assert h_index(np.array([0, 0])) == 0
+    assert h_index(np.empty(0, dtype=np.int64)) == 0
+    assert h_index(np.array([10, 9, 8, 2])) == 3
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 7])
+def test_distributed_kcore_matches_sequential(p, random_graph):
+    expected = core_numbers(random_graph)
+    dist = distribute(random_graph, num_pes=p)
+    res = Machine(p).run(kcore_program, dist)
+    got = np.concatenate([v.cores for v in res.values])
+    assert np.array_equal(got, expected)
+    assert all(v.rounds == res.values[0].rounds for v in res.values)
+
+
+def test_distributed_kcore_on_cliques():
+    g = gen.disjoint_cliques(3, 5)
+    dist = distribute(g, num_pes=3)
+    res = Machine(3).run(kcore_program, dist)
+    got = np.concatenate([v.cores for v in res.values])
+    assert np.all(got == 4)
+    # Fully local input: converges in two rounds (one sweep + check).
+    assert res.values[0].rounds <= 3
+
+
+def test_distributed_kcore_on_parallel_backend():
+    from repro.net import ProcessMachine
+
+    g = gen.gnm(300, 2000, seed=5)
+    expected = core_numbers(g)
+    dist = distribute(g, num_pes=3)
+    res = ProcessMachine(3).run(kcore_program, dist)
+    got = np.concatenate([v.cores for v in res.values])
+    assert np.array_equal(got, expected)

@@ -1,0 +1,172 @@
+"""Tests for triangle-type classification and approximate LCC."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.triangle_types import TriangleTypeCounts, classify_triangles
+from repro.core.approx import amq_lcc_program
+from repro.core.edge_iterator import edge_iterator
+from repro.core.engine import EngineConfig, counting_program
+from repro.core.lcc import lcc_sequential
+from repro.graphs import distribute, from_edges, partition_by_vertices
+from repro.graphs import generators as gen
+from repro.net import Machine
+
+
+# ------------------------------------------------------- triangle types
+def test_types_sum_to_total(random_graph):
+    counts = classify_triangles(random_graph, num_pes=4)
+    assert counts.total == edge_iterator(random_graph).triangles
+
+
+def test_single_pe_all_type1(random_graph):
+    counts = classify_triangles(random_graph, num_pes=1)
+    assert counts.type2 == counts.type3 == 0
+    assert counts.local_fraction == 1.0
+
+
+def test_disjoint_cliques_all_type1():
+    g = gen.disjoint_cliques(4, 5)
+    counts = classify_triangles(g, num_pes=4)
+    assert counts.type1 == counts.total == 40
+
+
+def test_hand_built_types():
+    # Triangle A: vertices 0,1,2 (all PE0 of 3 PEs over 9 vertices).
+    # Triangle B: 0,1,3 (two on PE0, one on PE1) -> type 2.
+    # Triangle C: 2,5,8 (PEs 0,1,2) -> type 3.
+    edges = np.array(
+        [[0, 1], [1, 2], [0, 2], [0, 3], [1, 3], [2, 5], [5, 8], [2, 8]]
+    )
+    g = from_edges(edges, num_vertices=9)
+    counts = classify_triangles(g, num_pes=3)
+    assert (counts.type1, counts.type2, counts.type3) == (1, 1, 1)
+
+
+def test_type3_matches_cetric_remote_counts(random_graph):
+    """CETRIC's global phase finds exactly the type-3 triangles."""
+    p = 5
+    counts = classify_triangles(random_graph, num_pes=p)
+    dist = distribute(random_graph, num_pes=p)
+    res = Machine(p).run(counting_program, dist, EngineConfig(contraction=True))
+    remote = sum(v.remote_count for v in res.values)
+    assert remote == counts.type3
+    local = sum(v.local_count for v in res.values)
+    assert local == counts.type1 + counts.type2
+
+
+def test_locality_raises_local_fraction():
+    local_g = gen.rgg2d(1200, expected_edges=10000, seed=4)
+    from repro.graphs import relabel
+    from repro.graphs.reorder import random_order
+
+    shuffled = relabel(local_g, random_order(local_g, seed=1))
+    a = classify_triangles(local_g, num_pes=8)
+    b = classify_triangles(shuffled, num_pes=8)
+    assert a.local_fraction > b.local_fraction
+
+
+def test_classify_argument_validation(random_graph):
+    with pytest.raises(ValueError):
+        classify_triangles(random_graph)
+    with pytest.raises(ValueError):
+        classify_triangles(
+            random_graph,
+            num_pes=2,
+            partition=partition_by_vertices(random_graph.num_vertices, 2),
+        )
+
+
+def test_empty_graph_types():
+    from repro.graphs import empty_graph
+
+    counts = classify_triangles(empty_graph(5), num_pes=2)
+    assert counts == TriangleTypeCounts(0, 0, 0)
+    assert counts.local_fraction == 1.0
+
+
+# ------------------------------------------------------- approximate LCC
+@pytest.fixture(scope="module")
+def amq_graph():
+    return gen.rmat(9, 12, seed=6)
+
+
+# FPR differs per AMQ parameterization: Bloom with 16 bits/element is
+# ~4e-4, SSBF with b cells/element is ~1/b — tolerances follow.
+@pytest.mark.parametrize(
+    "kind,budget,mean_tol,q90_tol",
+    [("bloom", 16.0, 0.03, 0.05), ("ssbf", 64.0, 0.06, 0.12)],
+)
+def test_amq_lcc_close_to_exact(kind, budget, mean_tol, q90_tol, amq_graph):
+    exact = lcc_sequential(amq_graph)
+    dist = distribute(amq_graph, num_pes=6)
+    res = Machine(6).run(amq_lcc_program, dist, amq_kind=kind, budget=budget)
+    approx = np.concatenate([v.lcc for v in res.values])
+    # Mean absolute error small; bulk of vertices almost exact.
+    assert np.abs(approx - exact).mean() < mean_tol
+    assert np.quantile(np.abs(approx - exact), 0.9) < q90_tol
+
+
+def test_amq_lcc_error_shrinks_with_budget(amq_graph):
+    exact = lcc_sequential(amq_graph)
+    dist = distribute(amq_graph, num_pes=6)
+    errs = []
+    for budget in (8.0, 32.0, 128.0):
+        res = Machine(6).run(amq_lcc_program, dist, amq_kind="ssbf", budget=budget)
+        approx = np.concatenate([v.lcc for v in res.values])
+        errs.append(float(np.abs(approx - exact).mean()))
+    assert errs[0] > errs[1] > errs[2]
+
+
+def test_amq_lcc_global_estimate_matches_truth(amq_graph):
+    truth = edge_iterator(amq_graph).triangles
+    dist = distribute(amq_graph, num_pes=4)
+    res = Machine(4).run(amq_lcc_program, dist, budget=16.0)
+    assert res.values[0].estimate_total == pytest.approx(truth, rel=0.03)
+
+
+def test_amq_lcc_exact_when_no_type3():
+    g = gen.disjoint_cliques(3, 6)
+    exact = lcc_sequential(g)
+    dist = distribute(g, num_pes=3)
+    res = Machine(3).run(amq_lcc_program, dist)
+    approx = np.concatenate([v.lcc for v in res.values])
+    assert np.allclose(approx, exact)
+
+
+def test_amq_lcc_correction_improves(amq_graph):
+    exact = lcc_sequential(amq_graph)
+    dist = distribute(amq_graph, num_pes=6)
+    raw = Machine(6).run(
+        amq_lcc_program, dist, budget=4.0, correct_bias=False
+    )
+    cor = Machine(6).run(amq_lcc_program, dist, budget=4.0, correct_bias=True)
+    err_raw = np.abs(np.concatenate([v.lcc for v in raw.values]) - exact).mean()
+    err_cor = np.abs(np.concatenate([v.lcc for v in cor.values]) - exact).mean()
+    assert err_cor <= err_raw
+
+
+def test_amq_lcc_beats_sampling_per_vertex(amq_graph):
+    """The paper's point: per-vertex accuracy is where AMQ shines."""
+    from repro.core.approx import doulion
+    from repro.core.edge_iterator import edge_iterator_per_vertex
+    from repro.core.lcc import lcc_from_delta
+    from repro.graphs.builders import from_edges as _fe
+
+    exact = lcc_sequential(amq_graph)
+    # Sampling-based per-vertex LCC: count on the q-sparsified graph,
+    # scale Δ by q^-3, divide by the *original* degrees.
+    rng = np.random.default_rng(8)
+    edges = amq_graph.undirected_edges()
+    keep = rng.random(edges.shape[0]) < 0.5
+    reduced = _fe(edges[keep], num_vertices=amq_graph.num_vertices)
+    delta_red, _ = edge_iterator_per_vertex(reduced)
+    sampled_lcc = lcc_from_delta(delta_red / 0.5**3, amq_graph.degrees)
+
+    dist = distribute(amq_graph, num_pes=6)
+    res = Machine(6).run(amq_lcc_program, dist, budget=8.0)
+    amq_lcc = np.concatenate([v.lcc for v in res.values])
+
+    err_amq = np.abs(amq_lcc - exact).mean()
+    err_sample = np.abs(sampled_lcc - exact).mean()
+    assert err_amq < err_sample

@@ -1,0 +1,26 @@
+"""Execute every code block of docs/TUTORIAL.md (docs cannot rot)."""
+
+import re
+from pathlib import Path
+
+TUTORIAL = Path(__file__).parent.parent / "docs" / "TUTORIAL.md"
+
+
+def _code_blocks(text: str) -> list[str]:
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+def test_tutorial_exists_and_has_blocks():
+    text = TUTORIAL.read_text()
+    blocks = _code_blocks(text)
+    assert len(blocks) >= 6
+
+
+def test_tutorial_blocks_execute_in_order():
+    text = TUTORIAL.read_text()
+    namespace: dict = {}
+    for i, block in enumerate(_code_blocks(text)):
+        try:
+            exec(compile(block, f"<tutorial block {i}>", "exec"), namespace)
+        except Exception as exc:  # pragma: no cover - diagnostic
+            raise AssertionError(f"tutorial block {i} failed: {exc}\n{block}") from exc
