@@ -2,13 +2,23 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples report clean
+.PHONY: install test lint bench examples report clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# ruff (style) + repro.lint (SPMD protocol rules R1-R4, see
+# docs/SPMD_CONTRACT.md).  ruff is optional locally; CI installs it.
+lint:
+	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \
+		$(PYTHON) -m ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; skipping style checks"; \
+	fi
+	PYTHONPATH=src $(PYTHON) -m repro.lint src
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

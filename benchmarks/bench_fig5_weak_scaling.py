@@ -23,7 +23,6 @@ Asserted shapes (paper Section V-D):
   per-PE budget binds).
 """
 
-import pytest
 from conftest import run_once, save_artifact
 
 from repro.analysis.sweep import weak_scaling

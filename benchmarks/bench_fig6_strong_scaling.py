@@ -19,7 +19,6 @@ Asserted shapes (Section V-E):
   batch) while our algorithms keep scaling.
 """
 
-import pytest
 from conftest import run_once, save_artifact
 
 from repro.analysis.runner import run_algorithm

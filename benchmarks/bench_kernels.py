@@ -11,7 +11,7 @@ import numpy as np
 import pytest
 
 from repro.core.edge_iterator import edge_iterator, matrix_count
-from repro.core.intersect import batch_intersect_count, concat_xadj, gather_blocks
+from repro.core.intersect import batch_intersect_count, gather_blocks
 from repro.core.orientation import orient_by_degree
 from repro.graphs import generators as gen
 

@@ -11,6 +11,8 @@ Subcommands
     Strong-scaling sweep over PE counts, printed as a figure panel.
 ``datasets``
     The Table-I stand-in statistics next to the paper's numbers.
+``lint``
+    Static SPMD-protocol checks (rules R1-R4) over source trees.
 
 Examples
 --------
@@ -195,6 +197,15 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint.cli import main as lint_main
+
+    argv = list(args.paths)
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     print(f"{'instance':<14s} {'n':>8s} {'m':>9s} {'wedges':>12s} {'triangles':>10s}"
           f"   | paper (millions): n, m, wedges, triangles")
@@ -257,6 +268,11 @@ def build_parser() -> argparse.ArgumentParser:
     d = sub.add_parser("datasets", help="Table-I stand-in statistics")
     d.add_argument("--scale", type=float, default=1.0)
     d.set_defaults(func=_cmd_datasets)
+
+    li = sub.add_parser("lint", help="static SPMD protocol checks (R1-R4)")
+    li.add_argument("paths", nargs="*", default=["src"], help="files/dirs to lint")
+    li.add_argument("--list-rules", action="store_true", help="print rule catalogue")
+    li.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -1,0 +1,17 @@
+"""Static SPMD protocol linter for programs on the simulated machine.
+
+The machine's programming contract — collectives driven with ``yield
+from``, identical collective order on every PE, deterministic message
+order, explicit message costs — is unchecked by Python itself; this
+package enforces it with AST analysis (rules R1–R4, catalogued in
+:data:`~repro.lint.findings.RULES` and documented with examples in
+``docs/SPMD_CONTRACT.md``).
+
+Run it as ``python -m repro.lint src`` or ``repro-tc lint``; its runtime
+sibling is ``Machine(..., protocol_check=True)``.
+"""
+
+from .findings import Finding, RULES
+from .runner import lint_file, lint_paths, lint_source
+
+__all__ = ["Finding", "RULES", "lint_file", "lint_paths", "lint_source"]

@@ -1,0 +1,59 @@
+"""``python -m repro.lint`` — lint SPMD programs for protocol bugs."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .findings import RULES
+from .runner import lint_paths
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Static checker for the SPMD protocol contract of the simulated "
+            "machine (rules R1-R4; see docs/SPMD_CONTRACT.md). Suppress a "
+            "deliberate violation with '# noqa: R<n>' on the offending line."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress the summary line"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; exit status 1 iff findings were reported, 2 on usage errors."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for code, text in sorted(RULES.items()):
+            print(f"{code}: {text}")
+        return 0
+    try:
+        findings = lint_paths(args.paths)
+    except OSError as exc:
+        print(f"repro.lint: error: {exc}", file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding.format())
+    if not args.quiet:
+        n = len(findings)
+        print(f"repro.lint: {n} finding{'s' if n != 1 else ''}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Finding records produced by the SPMD protocol linter."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Finding", "RULES"]
+
+#: Rule code -> one-line description (see ``docs/SPMD_CONTRACT.md`` for
+#: the rationale and bad/good examples of each).
+RULES: dict[str, str] = {
+    "R1": (
+        "collective (or ctx.recv) called without 'yield from' — the "
+        "generator is created and silently dropped"
+    ),
+    "R2": (
+        "collective invoked under rank-dependent control flow — PEs may "
+        "diverge in collective entry order"
+    ),
+    "R3": (
+        "loop over a set/dict whose body sends messages — iteration order "
+        "is not a deterministic function of the program"
+    ),
+    "R4": (
+        "SPMD hygiene: ctx.send without an explicit words cost, or "
+        "wall-clock / unseeded randomness inside SPMD code"
+    ),
+    "R0": "file could not be parsed",
+}
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One linter diagnostic, formatted ``path:line:col: CODE message``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """Render in the conventional compiler-diagnostic shape."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"

@@ -1,0 +1,399 @@
+"""AST rules enforcing the SPMD protocol contract (R1–R4).
+
+The machine in :mod:`repro.net.machine` runs SPMD programs written as
+generators; its correctness contract (``docs/SPMD_CONTRACT.md``) cannot
+be expressed in the type system, so these rules check it syntactically:
+
+R1
+    A collective from :mod:`repro.net.comm` (or ``ctx.recv``, or a
+    queue/router ``finalize``) is a *generator function*: calling it
+    builds a generator, and only ``yield from`` drives it.  A call whose
+    value is not consumed by ``yield from`` does nothing — no messages,
+    no barrier, no error — which is the nastiest bug this architecture
+    admits.
+R2
+    All PEs must enter the same collectives in the same order.  A
+    collective lexically inside an ``if``/``while`` whose condition
+    depends on the PE rank (or a ``for`` whose iterable does) is the
+    canonical way to break that.
+R3
+    The machine guarantees deterministic runs.  Iterating a ``set`` (or
+    a dict in hash-keyed idioms ported from C++) while sending messages
+    makes the message order an artifact of hashing; iterate
+    ``sorted(...)`` instead.
+R4
+    Cost-model and determinism hygiene inside SPMD code: every
+    ``ctx.send`` must carry an explicit ``words`` cost, and SPMD code
+    must not consult wall clocks or unseeded random generators.
+
+The rules are heuristic by design (no type inference); suppress a
+deliberate violation with ``# noqa: R<n>`` on the offending line.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .findings import Finding
+
+__all__ = ["check_module"]
+
+#: Generator-function collectives of :mod:`repro.net.comm`.
+COLLECTIVE_FUNCTIONS = frozenset(
+    {
+        "barrier",
+        "reduce_to_root",
+        "bcast",
+        "allreduce",
+        "alltoallv_dense",
+        "sparse_alltoall",
+    }
+)
+
+#: Generator methods that are collective: ``BufferedMessageQueue.finalize``
+#: and ``GridRouter.finalize`` (both must be entered by every PE).
+COLLECTIVE_METHODS = frozenset({"finalize"})
+
+#: ``time`` / ``datetime`` attributes that read the wall clock.
+WALL_CLOCK = {
+    "time": {"time", "perf_counter", "perf_counter_ns", "monotonic", "process_time"},
+    "datetime": {"now", "utcnow", "today"},
+}
+
+#: ``random`` module functions drawing from the (unseeded) global state.
+UNSEEDED_RANDOM = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "betavariate",
+        "expovariate",
+    }
+)
+
+#: ``np.random`` legacy functions using the global ``RandomState``.
+NP_GLOBAL_RANDOM = frozenset(
+    {
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "seed",
+    }
+)
+
+
+def _is_ctx_expr(node: ast.AST) -> bool:
+    """``ctx`` or ``<anything>.ctx`` — the conventional PEContext handle."""
+    if isinstance(node, ast.Name):
+        return node.id == "ctx"
+    return isinstance(node, ast.Attribute) and node.attr == "ctx"
+
+
+def _collective_name(call: ast.Call) -> str | None:
+    """The collective's name if ``call`` invokes one, else ``None``."""
+    func = call.func
+    if isinstance(func, ast.Name) and func.id in COLLECTIVE_FUNCTIONS:
+        return func.id
+    if isinstance(func, ast.Attribute):
+        if func.attr in COLLECTIVE_FUNCTIONS:
+            return func.attr
+        if func.attr in COLLECTIVE_METHODS:
+            return func.attr
+    return None
+
+
+def _is_ctx_recv(call: ast.Call) -> bool:
+    func = call.func
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "recv"
+        and _is_ctx_expr(func.value)
+    )
+
+
+def _is_send_call(call: ast.Call) -> bool:
+    return isinstance(call.func, ast.Attribute) and call.func.attr == "send"
+
+
+def _walk_no_nested_functions(nodes):
+    """Yield nodes of the given statements without entering nested defs."""
+    stack = list(nodes)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class _FunctionInfo:
+    """Per-function facts the rules share."""
+
+    def __init__(self, fn: ast.FunctionDef | ast.AsyncFunctionDef):
+        self.node = fn
+        args = fn.args
+        all_args = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        has_ctx_param = any(
+            a.arg == "ctx"
+            or (
+                a.annotation is not None
+                and "PEContext" in ast.dump(a.annotation)
+            )
+            for a in all_args
+        )
+        body_nodes = list(_walk_no_nested_functions(fn.body))
+        touches_ctx = any(
+            (isinstance(n, ast.Attribute) and _is_ctx_expr(n.value))
+            or (isinstance(n, ast.Name) and n.id == "ctx")
+            for n in body_nodes
+        )
+        #: SPMD scope: the function handles a PEContext (R4 applies).
+        self.is_spmd = has_ctx_param or touches_ctx
+        #: Local names aliasing ``ctx.rank`` (``rank = ctx.rank``).
+        self.rank_aliases: set[str] = {"rank"}
+        for n in body_nodes:
+            if isinstance(n, ast.Assign) and isinstance(n.value, ast.Attribute):
+                if n.value.attr == "rank":
+                    for t in n.targets:
+                        if isinstance(t, ast.Name):
+                            self.rank_aliases.add(t.id)
+        #: Local names bound to set/dict constructors (R3 inference).
+        self.container_kinds: dict[str, str] = {}
+        for n in body_nodes:
+            if isinstance(n, ast.Assign) and len(n.targets) == 1:
+                t = n.targets[0]
+                if isinstance(t, ast.Name):
+                    kind = _container_kind_of_value(n.value)
+                    if kind is not None:
+                        self.container_kinds[t.id] = kind
+                    else:
+                        self.container_kinds.pop(t.id, None)
+
+
+def _container_kind_of_value(node: ast.AST) -> str | None:
+    """Classify an expression as building a ``set``/``dict``, if obvious."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return "set"
+        if node.func.id == "dict":
+            return "dict"
+    return None
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, path: str):
+        self.path = path
+        self.findings: list[Finding] = []
+        self._fn_stack: list[_FunctionInfo] = []
+        #: Lines of ``test`` expressions of enclosing rank-dependent regions.
+        self._rank_regions: list[int] = []
+
+    # -- plumbing ------------------------------------------------------
+    def _emit(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                code=code,
+                message=message,
+            )
+        )
+
+    @property
+    def _fn(self) -> _FunctionInfo | None:
+        return self._fn_stack[-1] if self._fn_stack else None
+
+    def _mentions_rank(self, expr: ast.AST) -> bool:
+        aliases = self._fn.rank_aliases if self._fn else {"rank"}
+        for n in ast.walk(expr):
+            if isinstance(n, ast.Attribute) and n.attr == "rank":
+                return True
+            if isinstance(n, ast.Name) and n.id in aliases:
+                return True
+        return False
+
+    # -- scopes --------------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def _visit_function(self, node) -> None:
+        self._fn_stack.append(_FunctionInfo(node))
+        saved_regions = self._rank_regions
+        self._rank_regions = []
+        self.generic_visit(node)
+        self._rank_regions = saved_regions
+        self._fn_stack.pop()
+
+    # -- R2 regions ----------------------------------------------------
+    def visit_If(self, node: ast.If) -> None:
+        self._visit_rank_region(node, node.test)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._visit_rank_region(node, node.test)
+
+    def _visit_rank_region(self, node, test: ast.AST) -> None:
+        self.visit(test)
+        dependent = self._mentions_rank(test)
+        if dependent:
+            self._rank_regions.append(test.lineno)
+        for stmt in node.body:
+            self.visit(stmt)
+        for stmt in node.orelse:
+            self.visit(stmt)
+        if dependent:
+            self._rank_regions.pop()
+
+    # -- R3 + rank-dependent for loops ---------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        kind = self._unordered_iter_kind(node.iter)
+        if kind is not None and self._loop_body_sends(node.body):
+            self._emit(
+                node,
+                "R3",
+                f"loop over a {kind} sends messages — message order follows "
+                f"{kind} iteration order, not the program; iterate "
+                f"sorted(...) instead",
+            )
+        self.visit(node.iter)
+        self.visit(node.target)
+        dependent = self._mentions_rank(node.iter)
+        if dependent:
+            self._rank_regions.append(node.iter.lineno)
+        for stmt in node.body:
+            self.visit(stmt)
+        for stmt in node.orelse:
+            self.visit(stmt)
+        if dependent:
+            self._rank_regions.pop()
+
+    def _unordered_iter_kind(self, expr: ast.AST) -> str | None:
+        kind = _container_kind_of_value(expr)
+        if kind is not None:
+            return kind
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Name):
+                if func.id == "sorted":
+                    return None  # explicitly ordered
+                if func.id in ("list", "tuple", "reversed", "enumerate") and expr.args:
+                    return self._unordered_iter_kind(expr.args[0])
+            if isinstance(func, ast.Attribute) and func.attr in (
+                "keys",
+                "values",
+                "items",
+            ):
+                return "dict"
+        if isinstance(expr, ast.Name) and self._fn is not None:
+            return self._fn.container_kinds.get(expr.id)
+        return None
+
+    def _loop_body_sends(self, body) -> bool:
+        for n in _walk_no_nested_functions(body):
+            if isinstance(n, ast.Call) and _is_send_call(n):
+                return True
+        return False
+
+    # -- R1 / R2 / R4 at call sites ------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _collective_name(node)
+        is_recv = _is_ctx_recv(node)
+        if (name is not None or is_recv) and not isinstance(
+            getattr(node, "_repro_parent", None), ast.YieldFrom
+        ):
+            what = name if name is not None else "ctx.recv"
+            self._emit(
+                node,
+                "R1",
+                f"'{what}(...)' is a generator: without 'yield from' it is "
+                f"created and dropped and the operation never runs",
+            )
+        if name is not None and self._rank_regions:
+            self._emit(
+                node,
+                "R2",
+                f"collective '{name}' inside rank-dependent control flow "
+                f"(condition at line {self._rank_regions[-1]}) — PEs may "
+                f"enter collectives in diverging order",
+            )
+        if self._fn is not None and self._fn.is_spmd:
+            self._check_r4(node)
+        self.generic_visit(node)
+
+    def _check_r4(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            _is_send_call(node)
+            and _is_ctx_expr(func.value)
+            and not any(isinstance(a, ast.Starred) for a in node.args)
+        ):
+            has_words = len(node.args) >= 4 or any(
+                kw.arg == "words" for kw in node.keywords
+            )
+            if not has_words:
+                self._emit(
+                    node,
+                    "R4",
+                    "ctx.send(...) without an explicit 'words' cost argument "
+                    "— every message must be charged to the alpha-beta model",
+                )
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            mod, attr = func.value.id, func.attr
+            if attr in WALL_CLOCK.get(mod, ()):
+                self._emit(
+                    node,
+                    "R4",
+                    f"wall-clock call '{mod}.{attr}()' in SPMD code — "
+                    f"simulated time must come from the machine's cost model",
+                )
+            if mod == "random" and attr in UNSEEDED_RANDOM:
+                self._emit(
+                    node,
+                    "R4",
+                    f"unseeded 'random.{attr}()' in SPMD code breaks run "
+                    f"determinism; use numpy.random.default_rng(seed)",
+                )
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "random"
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id in ("np", "numpy")
+            and func.attr in NP_GLOBAL_RANDOM
+        ):
+            self._emit(
+                node,
+                "R4",
+                f"global-state 'np.random.{func.attr}(...)' in SPMD code "
+                f"breaks run determinism; use numpy.random.default_rng(seed)",
+            )
+
+
+def check_module(tree: ast.Module, path: str) -> list[Finding]:
+    """Run every rule over a parsed module; returns unsuppressed findings."""
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            child._repro_parent = parent  # type: ignore[attr-defined]
+    checker = _Checker(path)
+    checker.visit(tree)
+    return sorted(checker.findings)

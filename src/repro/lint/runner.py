@@ -1,0 +1,78 @@
+"""File walking, ``# noqa`` suppression, and the linting entry points."""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable
+
+from .findings import Finding
+from .rules import check_module
+
+__all__ = ["lint_source", "lint_file", "lint_paths"]
+
+_NOQA = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9,\s]+))?", re.IGNORECASE)
+
+#: Directories never descended into when expanding path arguments.
+_SKIP_DIRS = {"__pycache__", ".git", ".pytest_cache", ".hypothesis", "build", "dist"}
+
+
+def _suppressed(finding: Finding, lines: list[str]) -> bool:
+    """True if the finding's source line carries a matching ``# noqa``."""
+    if not (1 <= finding.line <= len(lines)):
+        return False
+    m = _NOQA.search(lines[finding.line - 1])
+    if m is None:
+        return False
+    codes = m.group("codes")
+    if codes is None:
+        return True  # bare "# noqa" silences everything on the line
+    return finding.code in {c.strip().upper() for c in codes.split(",")}
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint Python source text; returns findings not silenced by noqa."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                code="R0",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    lines = source.splitlines()
+    return [f for f in check_module(tree, path) if not _suppressed(f, lines)]
+
+
+def lint_file(path: str | Path) -> list[Finding]:
+    """Lint one file."""
+    p = Path(path)
+    return lint_source(p.read_text(encoding="utf-8"), str(p))
+
+
+def _expand(paths: Iterable[str | Path]) -> list[Path]:
+    out: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            out.extend(
+                f
+                for f in sorted(p.rglob("*.py"))
+                if not (_SKIP_DIRS & set(f.relative_to(p).parts))
+            )
+        else:
+            out.append(p)
+    return out
+
+
+def lint_paths(paths: Iterable[str | Path]) -> list[Finding]:
+    """Lint files and directories (recursively); findings sorted by location."""
+    findings: list[Finding] = []
+    for f in _expand(paths):
+        findings.extend(lint_file(f))
+    return sorted(findings)

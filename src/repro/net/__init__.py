@@ -29,6 +29,7 @@ from .machine import (
     MachineResult,
     OutOfMemoryError,
     PEContext,
+    ProtocolError,
 )
 from .messages import HEADER_WORDS, Message
 from .metrics import PEMetrics, RunMetrics
@@ -59,6 +60,7 @@ __all__ = [
     "MachineResult",
     "OutOfMemoryError",
     "PEContext",
+    "ProtocolError",
     "HEADER_WORDS",
     "Message",
     "PEMetrics",

@@ -119,7 +119,7 @@ class BufferedMessageQueue:
         """Send every non-empty buffer as one aggregated message."""
         if not self._buffers:
             return
-        for dest, records in self._buffers.items():
+        for dest, records in sorted(self._buffers.items()):
             words = self._buffer_words[dest]
             self.ctx.send(dest, self.tag, records, words)
         self._buffers = {}

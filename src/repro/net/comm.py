@@ -48,7 +48,7 @@ def barrier(ctx: PEContext) -> Generator[None, None, None]:
     p = ctx.num_pes
     if p == 1:
         return
-    cid = ctx.new_collective_id()
+    cid = ctx.enter_collective("barrier")
     k = 1
     rnd = 0
     while k < p:
@@ -72,7 +72,7 @@ def reduce_to_root(
     payload size of one partial value.
     """
     p = ctx.num_pes
-    cid = ctx.new_collective_id()
+    cid = ctx.enter_collective("reduce")
     tag = ("reduce", cid)
     acc = value
     mask = 1
@@ -93,7 +93,7 @@ def bcast(
 ) -> Generator[None, None, Any]:
     """Binomial-tree broadcast from PE 0; returns the value everywhere."""
     p = ctx.num_pes
-    cid = ctx.new_collective_id()
+    cid = ctx.enter_collective("bcast")
     tag = ("bcast", cid)
     rank = ctx.rank
     if rank != 0:
@@ -141,7 +141,7 @@ def alltoallv_dense(
     present, as a synthetic message).
     """
     p = ctx.num_pes
-    cid = ctx.new_collective_id()
+    cid = ctx.enter_collective(f"alltoallv:{tag_label}")
     tag = (tag_label, cid)
     received: list[Message] = []
     for dest in range(p):
@@ -185,7 +185,7 @@ def sparse_alltoall(
 
     Self-addressed payloads are returned locally without a message.
     """
-    cid = ctx.new_collective_id()
+    cid = ctx.enter_collective(f"sparse-alltoall:{tag_label}")
     tag = (tag_label, cid)
     received: list[Message] = []
     for dest, payload, words in payloads:

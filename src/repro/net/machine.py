@@ -38,6 +38,7 @@ Collectives (barrier, allreduce, alltoallv, sparse all-to-all) live in
 
 from __future__ import annotations
 
+import os
 from collections import defaultdict, deque
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -47,11 +48,31 @@ from .costmodel import DEFAULT_SPEC, MachineSpec
 from .messages import Message, Tag
 from .metrics import PEMetrics, RunMetrics
 
-__all__ = ["Machine", "PEContext", "MachineResult", "DeadlockError", "OutOfMemoryError"]
+__all__ = [
+    "Machine",
+    "PEContext",
+    "MachineResult",
+    "DeadlockError",
+    "OutOfMemoryError",
+    "ProtocolError",
+]
 
 
 class DeadlockError(RuntimeError):
     """All live PEs are idle, no messages are pending — nothing can progress."""
+
+
+class ProtocolError(RuntimeError):
+    """The SPMD protocol contract was violated.
+
+    Raised only when the machine runs with ``protocol_check=True``:
+    either two PEs entered different collectives at the same position of
+    their collective-entry sequence (collective-order divergence — the
+    bug class that deadlocks or silently miscounts on a real MPI
+    machine), or messages were still undelivered when every program had
+    returned (send/recv conservation failure).  See
+    ``docs/SPMD_CONTRACT.md`` for the full contract.
+    """
 
 
 class OutOfMemoryError(RuntimeError):
@@ -79,6 +100,9 @@ class PEContext:
         self._inbox: dict[Tag, deque[Message]] = defaultdict(deque)
         self._collective_seq = 0
         self._phase_stack: list[tuple[str, float]] = []
+        #: Tag this PE is currently blocked on inside ``recv`` (deadlock
+        #: diagnostics); ``None`` while the PE is making progress.
+        self._blocked_tag: Tag | None = None
 
     # ------------------------------------------------------------------
     # Clock / work accounting
@@ -176,7 +200,9 @@ class PEContext:
         while True:
             msg = self.try_recv(tag)
             if msg is not None:
+                self._blocked_tag = None
                 return msg
+            self._blocked_tag = tag
             yield
 
     def pending(self, tag: Tag) -> int:
@@ -184,15 +210,27 @@ class PEContext:
         q = self._inbox.get(tag)
         return len(q) if q else 0
 
-    def new_collective_id(self) -> int:
+    def enter_collective(self, label: str = "collective") -> int:
         """Monotone per-PE counter keying collective operations.
 
         All PEs enter collectives in the same program order (an MPI
         requirement the algorithms obey), so equal counters identify
-        the same logical collective across PEs.
+        the same logical collective across PEs.  ``label`` names the
+        collective for protocol checking: with ``protocol_check=True``
+        the machine cross-validates that every PE's n-th collective
+        entry carries the same label and raises :class:`ProtocolError`
+        naming the diverging ranks otherwise.
         """
         self._collective_seq += 1
+        # Transport shims (ProcessMachine, MpiContext) have no verifier.
+        note = getattr(self._machine, "_note_collective_entry", None)
+        if note is not None:
+            note(self.rank, self._collective_seq, label)
         return self._collective_seq
+
+    def new_collective_id(self) -> int:
+        """Back-compat alias for :meth:`enter_collective` (unlabelled)."""
+        return self.enter_collective()
 
     def check_memory(self, words: int, *, what: str = "buffer") -> None:
         """Raise :class:`OutOfMemoryError` if ``words`` exceeds the budget."""
@@ -218,16 +256,48 @@ class MachineResult:
 
 
 class Machine:
-    """Round-robin scheduler for ``p`` PE programs with message passing."""
+    """Round-robin scheduler for ``p`` PE programs with message passing.
 
-    def __init__(self, num_pes: int, spec: MachineSpec = DEFAULT_SPEC, *, tracer=None):
+    Parameters
+    ----------
+    num_pes:
+        Number of simulated PEs.
+    spec:
+        Cost-model constants (alpha, beta, flop time, memory budget).
+    tracer:
+        Optional :class:`repro.net.trace.Tracer` receiving all events.
+    protocol_check:
+        Opt-in runtime verification of the SPMD protocol contract
+        (``docs/SPMD_CONTRACT.md``): every PE must enter the same
+        collectives in the same order, and no message may remain
+        undelivered at teardown.  Violations raise
+        :class:`ProtocolError` with a diagnostic naming the diverging
+        ranks and collectives.  ``None`` (the default) reads the
+        ``REPRO_PROTOCOL_CHECK`` environment variable — the test suite
+        sets it so every simulated run is verified.
+    """
+
+    def __init__(
+        self,
+        num_pes: int,
+        spec: MachineSpec = DEFAULT_SPEC,
+        *,
+        tracer=None,
+        protocol_check: bool | None = None,
+    ):
         if num_pes < 1:
             raise ValueError("need at least one PE")
         self.num_pes = num_pes
         self.spec = spec
         #: Optional :class:`repro.net.trace.Tracer` receiving all events.
         self.tracer = tracer
+        if protocol_check is None:
+            protocol_check = os.environ.get(
+                "REPRO_PROTOCOL_CHECK", ""
+            ).strip().lower() in ("1", "true", "yes", "on")
+        self.protocol_check = bool(protocol_check)
         self._contexts: list[PEContext] = []
+        self._collective_log: list[list[str]] = []
         self._progress = 0
 
     # Internal hooks -----------------------------------------------------
@@ -237,6 +307,90 @@ class Machine:
 
     def _note_progress(self) -> None:
         self._progress += 1
+
+    def _note_collective_entry(self, rank: int, seq: int, label: str) -> None:
+        """Record and cross-validate one PE's collective entry.
+
+        The per-PE sequence counter is monotone, so the n-th entry of
+        every PE must name the same collective; the first PE to disagree
+        with an already-recorded peer trips the check — *before* the
+        divergence has a chance to manifest as a deadlock or a silent
+        mis-reduction.
+        """
+        if not self.protocol_check:
+            return
+        log = self._collective_log[rank]
+        log.append(label)
+        idx = seq - 1
+        disagree = {
+            other: olog[idx]
+            for other, olog in enumerate(self._collective_log)
+            if other != rank and len(olog) > idx and olog[idx] != label
+        }
+        if disagree:
+            details = ", ".join(
+                f"rank {r} entered '{lbl}'" for r, lbl in sorted(disagree.items())
+            )
+            raise ProtocolError(
+                f"collective-order divergence at collective #{seq}: "
+                f"rank {rank} entered '{label}' but {details}; all PEs must "
+                f"enter the same collectives in the same order"
+            )
+
+    def _deadlock_diagnostic(self, live: set[int], idle_rounds: int) -> str:
+        """Per-PE blocked tags and pending-message census for the error."""
+        lines = [
+            f"no progress in {idle_rounds} consecutive rounds; "
+            f"waiting PEs: {sorted(live)}"
+        ]
+        total_pending = 0
+        for rank in sorted(live):
+            ctx = self._contexts[rank]
+            census = {tag: len(q) for tag, q in ctx._inbox.items() if q}
+            total_pending += sum(census.values())
+            blocked = (
+                f"blocked on recv(tag={ctx._blocked_tag!r})"
+                if ctx._blocked_tag is not None
+                else "idle (no blocking recv recorded)"
+            )
+            lines.append(f"  rank {rank}: {blocked}; pending inbox: {census or '{}'}")
+        for rank in sorted(set(range(self.num_pes)) - live):
+            ctx = self._contexts[rank]
+            census = {tag: len(q) for tag, q in ctx._inbox.items() if q}
+            if census:
+                total_pending += sum(census.values())
+                lines.append(
+                    f"  rank {rank}: finished but holds undelivered messages: {census}"
+                )
+        lines.append(f"  {total_pending} message(s) pending machine-wide")
+        return "\n".join(lines)
+
+    def _check_teardown(self) -> None:
+        """Protocol-check epilogue: conservation + matched collectives."""
+        entry_counts = {rank: len(log) for rank, log in enumerate(self._collective_log)}
+        if len(set(entry_counts.values())) > 1:
+            details = ", ".join(
+                f"rank {r}: {n} collectives" for r, n in sorted(entry_counts.items())
+            )
+            raise ProtocolError(
+                f"collective-entry counts diverge at teardown ({details}); "
+                f"some PE skipped or repeated a collective"
+            )
+        leftovers = {
+            rank: {tag: len(q) for tag, q in ctx._inbox.items() if q}
+            for rank, ctx in enumerate(self._contexts)
+        }
+        leftovers = {rank: census for rank, census in leftovers.items() if census}
+        if leftovers:
+            sent = sum(c.metrics.messages_sent for c in self._contexts)
+            received = sum(c.metrics.messages_received for c in self._contexts)
+            details = "; ".join(
+                f"rank {r}: {census}" for r, census in sorted(leftovers.items())
+            )
+            raise ProtocolError(
+                f"message conservation violated at teardown: {sent} sent, "
+                f"{received} received, {sent - received} undelivered — {details}"
+            )
 
     # Public API ---------------------------------------------------------
     def run(
@@ -261,6 +415,7 @@ class Machine:
         self._contexts = [
             PEContext(rank, self.num_pes, self.spec, self) for rank in range(self.num_pes)
         ]
+        self._collective_log = [[] for _ in range(self.num_pes)]
         gens = [program(ctx, *args, **kwargs) for ctx in self._contexts]
         values: list[Any] = [None] * self.num_pes
         live = set(range(self.num_pes))
@@ -284,12 +439,11 @@ class Machine:
                 # the two without masking real livelocks.
                 idle_rounds += 1
                 if live and idle_rounds >= 5:
-                    raise DeadlockError(
-                        f"no progress in {idle_rounds} consecutive rounds; "
-                        f"waiting PEs: {sorted(live)}"
-                    )
+                    raise DeadlockError(self._deadlock_diagnostic(live, idle_rounds))
             else:
                 idle_rounds = 0
+        if self.protocol_check:
+            self._check_teardown()
         return MachineResult(
             values=values, metrics=RunMetrics(per_pe=[c.metrics for c in self._contexts])
         )

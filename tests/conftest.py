@@ -2,8 +2,16 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+# Every simulated run in the test suite verifies the SPMD protocol
+# contract (collective-order fingerprinting + message conservation at
+# teardown); Machine reads this at construction time.  Tests that need
+# it off pass protocol_check=False explicitly.
+os.environ.setdefault("REPRO_PROTOCOL_CHECK", "1")
 
 from repro.graphs import generators as gen
 from repro.graphs.csr import CSRGraph

@@ -1,6 +1,5 @@
 """Tests for the runner / sweep / tables / verify harness."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import (

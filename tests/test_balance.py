@@ -111,7 +111,7 @@ def test_rebalancing_does_not_pay_off(skewed):
     counting phase's traffic — so rebalancing "does not pay off".
     """
     from repro.core.engine import EngineConfig, counting_program
-    from repro.net import DEFAULT_SPEC, Machine
+    from repro.net import Machine
 
     p = 8
     naive = partition_by_vertices(skewed.num_vertices, p)

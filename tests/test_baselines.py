@@ -1,6 +1,5 @@
 """Tests for the TriC-like, HavoqGT-like and shared-memory baselines."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import (

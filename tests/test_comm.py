@@ -1,6 +1,7 @@
 """Tests for the collective operations."""
 
-import numpy as np
+import math
+
 import pytest
 
 from repro.net import (
@@ -137,6 +138,90 @@ def test_sparse_alltoall_multiple_to_same_dest():
 
     res = Machine(3).run(prog)
     assert res.values[0] == [0, 0, 1, 1, 2, 2]
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 8])
+def test_sparse_alltoall_terminates_with_no_partners(p):
+    """Empty partner set everywhere: only barrier traffic, empty result."""
+
+    def prog(ctx):
+        msgs = yield from sparse_alltoall(ctx, [])
+        return msgs
+
+    res = Machine(p).run(prog)
+    assert res.values == [[]] * p
+    barrier_msgs = 0 if p == 1 else math.ceil(math.log2(p))
+    for m in res.metrics.per_pe:
+        assert m.messages_sent == barrier_msgs  # termination barrier only
+        assert m.messages_received == barrier_msgs
+
+
+def test_sparse_alltoall_p1_self_sends_only():
+    """p=1: no network exists; self payloads are still delivered."""
+
+    def prog(ctx):
+        msgs = yield from sparse_alltoall(ctx, [(0, "a", 2), (0, "b", 2)])
+        return [m.payload for m in msgs]
+
+    res = Machine(1).run(prog)
+    assert res.values == [["a", "b"]]
+    assert res.metrics.per_pe[0].messages_sent == 0
+    assert res.metrics.per_pe[0].words_sent == 0
+
+
+def test_sparse_alltoall_asymmetric_partner_sets_terminate():
+    """Termination must not require symmetric communication patterns."""
+    p = 5
+
+    def prog(ctx):
+        if ctx.rank == 0:
+            triples = [(d, f"to-{d}", 1) for d in range(1, p)]
+        else:
+            triples = []  # only rank 0 talks; everyone still terminates
+        msgs = yield from sparse_alltoall(ctx, triples)
+        return [m.payload for m in msgs]
+
+    res = Machine(p).run(prog)
+    assert res.values[0] == []
+    for rank in range(1, p):
+        assert res.values[rank] == [f"to-{rank}"]
+
+
+@pytest.mark.parametrize("p", [2, 4])
+def test_sparse_alltoall_back_to_back_rounds_do_not_mix(p):
+    """Sequence numbers keep consecutive sparse exchanges separate."""
+
+    def prog(ctx):
+        first = yield from sparse_alltoall(ctx, [((ctx.rank + 1) % p, "one", 1)])
+        second = yield from sparse_alltoall(ctx, [((ctx.rank + 1) % p, "two", 1)])
+        return ([m.payload for m in first], [m.payload for m in second])
+
+    for got in Machine(p).run(prog).values:
+        assert got == (["one"], ["two"])
+
+
+def test_drain_empty_tag_returns_nothing():
+    def prog(ctx):
+        return drain(ctx, "never-used")
+        yield  # pragma: no cover
+
+    assert Machine(2).run(prog).values == [[], []]
+
+
+def test_drain_consumes_exactly_its_tag():
+    def prog(ctx):
+        if ctx.rank == 0:
+            ctx.send(1, "a", "keep", 1)
+            ctx.send(1, "b", "other", 1)
+            yield from barrier(ctx)
+            return None
+        yield from barrier(ctx)
+        got = [m.payload for m in drain(ctx, "a")]
+        rest = [m.payload for m in drain(ctx, "b")]
+        return (got, rest)
+
+    res = Machine(2).run(prog)
+    assert res.values[1] == (["keep"], ["other"])
 
 
 def test_drain():

@@ -7,7 +7,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.engine import EngineConfig, counting_program
 from repro.graphs import distribute, from_edges
-from repro.graphs.io import read_edge_list, write_edge_list
+from repro.graphs.io import read_edge_list
 from repro.net import Machine
 
 SETTINGS = dict(max_examples=30, deadline=None)

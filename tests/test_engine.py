@@ -1,6 +1,5 @@
 """Integration tests: every engine variant against sequential truth."""
 
-import numpy as np
 import pytest
 
 from repro.core.edge_iterator import edge_iterator

@@ -3,9 +3,7 @@
 import pytest
 
 from repro.core.hybrid import (
-    PHI_DEFAULT,
     SIGMA_DEFAULT,
-    HybridResult,
     run_hybrid,
     thread_speedup,
 )

@@ -1,0 +1,222 @@
+"""The SPMD protocol linter: rule corpus, suppression, CLI, self-check.
+
+Each known-bad snippet must trigger *exactly* its rule (no more, no
+less), each good twin must be clean, and the repo's own ``src`` tree
+must lint clean — the linter guards the codebase it lives in.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import RULES, lint_paths, lint_source
+from repro.lint.cli import main as lint_main
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src"
+
+# One known-bad snippet per rule; the test asserts the exact code set.
+BAD = {
+    "R1": """
+def prog(ctx):
+    barrier(ctx)
+    yield
+""",
+    "R2": """
+def prog(ctx):
+    if ctx.rank == 0:
+        yield from barrier(ctx)
+""",
+    "R3": """
+def prog(ctx):
+    partners = {3, 1, 2}
+    for dest in partners:
+        ctx.send(dest, "t", None, 1)
+    yield
+""",
+    "R4": """
+def prog(ctx):
+    ctx.send(1, "t", None)
+    yield
+""",
+}
+
+GOOD = {
+    "R1": """
+def prog(ctx):
+    yield from barrier(ctx)
+""",
+    "R2": """
+def prog(ctx):
+    yield from barrier(ctx)
+    if ctx.rank == 0:
+        ctx.charge(10)
+""",
+    "R3": """
+def prog(ctx):
+    partners = {3, 1, 2}
+    for dest in sorted(partners):
+        ctx.send(dest, "t", None, 1)
+    yield
+""",
+    "R4": """
+def prog(ctx):
+    ctx.send(1, "t", None, 7)
+    yield
+""",
+}
+
+
+@pytest.mark.parametrize("code", sorted(BAD))
+def test_bad_snippet_triggers_exactly_its_rule(code):
+    findings = lint_source(BAD[code], f"bad_{code}.py")
+    assert [f.code for f in findings] == [code]
+
+
+@pytest.mark.parametrize("code", sorted(GOOD))
+def test_good_twin_is_clean(code):
+    assert lint_source(GOOD[code], f"good_{code}.py") == []
+
+
+def test_r1_catches_dropped_ctx_recv_and_finalize():
+    src = """
+def prog(ctx):
+    msg = ctx.recv("tag")
+    records = queue.finalize()
+    yield
+"""
+    findings = lint_source(src)
+    assert [f.code for f in findings] == ["R1", "R1"]
+    assert "ctx.recv" in findings[0].message
+
+
+def test_r2_sees_through_rank_aliases_and_loops():
+    src = """
+def prog(ctx):
+    me = ctx.rank
+    while me > 0:
+        yield from barrier(ctx)
+"""
+    assert [f.code for f in lint_source(src)] == ["R2"]
+    src_for = """
+def prog(ctx):
+    for _ in range(ctx.rank):
+        yield from barrier(ctx)
+"""
+    assert [f.code for f in lint_source(src_for)] == ["R2"]
+
+
+def test_r3_flags_dict_iteration_with_sends():
+    src = """
+class Q:
+    def flush(self):
+        for dest, recs in self._buffers.items():
+            self.ctx.send(dest, self.tag, recs, 4)
+"""
+    findings = lint_source(src)
+    assert [f.code for f in findings] == ["R3"]
+    assert "sorted" in findings[0].message
+
+
+def test_r4_flags_wall_clock_and_unseeded_rng():
+    src = """
+import time, random
+import numpy as np
+
+def prog(ctx):
+    t0 = time.time()
+    x = random.random()
+    y = np.random.randint(0, 4)
+    yield
+"""
+    assert [f.code for f in lint_source(src)] == ["R4", "R4", "R4"]
+
+
+def test_r4_only_applies_inside_spmd_code():
+    src = """
+import time
+
+def wall_clock_harness():
+    return time.perf_counter()
+"""
+    assert lint_source(src) == []
+
+
+def test_noqa_suppresses_by_code():
+    src = """
+def prog(ctx):
+    if ctx.rank == 0:
+        yield from barrier(ctx)  # noqa: R2
+"""
+    assert lint_source(src) == []
+    # A noqa for a different rule does not suppress.
+    wrong = src.replace("noqa: R2", "noqa: R1")
+    assert [f.code for f in lint_source(wrong)] == ["R2"]
+    # Bare noqa silences everything on the line.
+    bare = src.replace("noqa: R2", "noqa")
+    assert lint_source(bare) == []
+
+
+def test_syntax_error_reported_as_r0():
+    findings = lint_source("def broken(:\n")
+    assert [f.code for f in findings] == ["R0"]
+
+
+def test_finding_format_is_compiler_style():
+    (finding,) = lint_source(BAD["R1"], "x.py")
+    text = finding.format()
+    assert text.startswith("x.py:3:")
+    assert " R1 " in text
+
+
+def test_rule_catalogue_is_complete():
+    assert set(RULES) == {"R0", "R1", "R2", "R3", "R4"}
+
+
+def test_repo_src_tree_lints_clean():
+    findings = lint_paths([SRC_ROOT])
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_cli_exit_status_and_output(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(BAD["R1"])
+    good = tmp_path / "good.py"
+    good.write_text(GOOD["R1"])
+
+    assert lint_main([str(good)]) == 0
+    assert lint_main([str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "R1" in out and "bad.py:3" in out
+
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("R1", "R2", "R3", "R4"):
+        assert code in out
+
+
+def test_cli_unreadable_path_is_a_clean_usage_error(tmp_path, capsys):
+    missing = tmp_path / "no_such_file.py"
+    assert lint_main([str(missing)]) == 2
+    err = capsys.readouterr().err
+    assert "repro.lint: error:" in err and "no_such_file.py" in err
+
+
+def test_cli_lints_directories_recursively(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "mod.py").write_text(BAD["R2"])
+    cache = pkg / "__pycache__"
+    cache.mkdir()
+    (cache / "junk.py").write_text(BAD["R1"])  # must be skipped
+    findings = lint_paths([tmp_path])
+    assert [f.code for f in findings] == ["R2"]
+
+
+def test_repro_cli_lint_subcommand(tmp_path, capsys):
+    from repro.cli import main as repro_main
+
+    bad = tmp_path / "bad.py"
+    bad.write_text(BAD["R3"])
+    assert repro_main(["lint", str(bad)]) == 1
+    assert "R3" in capsys.readouterr().out
+    assert repro_main(["lint", str(SRC_ROOT / "repro" / "net")]) == 0

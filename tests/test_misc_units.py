@@ -115,7 +115,7 @@ def test_record_is_frozen():
 
 
 def test_unpack_records_mixed_payloads():
-    from repro.net import HEADER_WORDS, Message, Record, unpack_records
+    from repro.net import Message, Record, unpack_records
 
     single = Record(1, np.arange(2))
     batch = [Record(2, np.arange(1)), Record(3, np.arange(0))]

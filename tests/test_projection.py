@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.analysis.projection import (
-    PowerLaw,
     fit_power_law,
     fit_scaling_model,
     project_time,

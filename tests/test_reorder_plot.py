@@ -1,7 +1,6 @@
 """Tests for vertex reordering utilities and the ASCII plot renderer."""
 
 import numpy as np
-import pytest
 
 from repro.analysis.plot import ascii_plot, plot_results
 from repro.analysis.runner import RunResult

@@ -1,6 +1,5 @@
 """Tests for the opt-in event tracer."""
 
-import numpy as np
 
 from repro.core.engine import EngineConfig, counting_program
 from repro.graphs import distribute

@@ -148,7 +148,6 @@ def test_amq_lcc_correction_improves(amq_graph):
 
 def test_amq_lcc_beats_sampling_per_vertex(amq_graph):
     """The paper's point: per-vertex accuracy is where AMQ shines."""
-    from repro.core.approx import doulion
     from repro.core.edge_iterator import edge_iterator_per_vertex
     from repro.core.lcc import lcc_from_delta
     from repro.graphs.builders import from_edges as _fe
