@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench examples report clean
+.PHONY: install test lint bench chaos examples report clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -10,7 +10,13 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# ruff (style) + repro.lint (SPMD protocol rules R1-R4, see
+# Short fixed-seed fault-injection campaign (see docs/FAULTS.md):
+# drops + one scheduled PE crash must not change any triangle count.
+chaos:
+	PYTHONPATH=src $(PYTHON) -m repro chaos --seeds 3 --drop-rates 0,0.05 \
+		--algorithms ditric,cetric
+
+# ruff (style) + repro.lint (SPMD protocol rules R1-R5, see
 # docs/SPMD_CONTRACT.md).  ruff is optional locally; CI installs it.
 lint:
 	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \

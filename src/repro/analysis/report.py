@@ -2,7 +2,7 @@
 
 ``generate_report`` runs a configurable-size version of every
 experiment class (dataset statistics, aggregation, weak scaling,
-strong scaling, phase breakdown, approximation) and renders a single
+strong scaling, phase breakdown, approximation, fault resilience) and renders a single
 markdown document — the quick-look counterpart of the full benchmark
 suite, suitable for CI artifacts or a README refresh.
 
@@ -122,6 +122,23 @@ def generate_report(
     parts.append(
         f"*Approximation sanity*: exact={truth}, doulion(q=0.5)={d.estimate:.0f} "
         f"({abs(d.estimate - truth) / max(truth, 1):.2%} error)\n"
+    )
+
+    # 5. Resilience under injected faults (docs/FAULTS.md).
+    from ..faults import format_campaign, run_campaign
+
+    outcomes = run_campaign(
+        algorithms=("ditric", "cetric"),
+        seeds=range(2),
+        drop_rates=(0.0, 0.05),
+        crash_fraction=0.5,
+        spec=spec,
+    )
+    parts.append(
+        _section(
+            "Resilience under injected faults (chaos campaign)",
+            format_campaign(outcomes),
+        )
     )
 
     parts.append(f"---\ngenerated in {time.perf_counter() - started:.1f}s wall time\n")

@@ -67,6 +67,10 @@ class RunResult:
     total_messages: int = 0
     total_ops: int = 0
     peak_buffer_words: int = 0
+    #: Resilience counters (nonzero only under injected faults).
+    retransmits: int = 0
+    messages_dropped: int = 0
+    duplicates_discarded: int = 0
     phases: dict[str, float] = field(default_factory=dict)
     #: Failure label ("out-of-memory") when the run did not complete.
     failed: str | None = None
@@ -214,5 +218,8 @@ def run_algorithm(
         total_messages=metrics.total_messages,
         total_ops=metrics.total_ops,
         peak_buffer_words=metrics.max_peak_buffer_words,
+        retransmits=metrics.total_retransmits,
+        messages_dropped=metrics.total_messages_dropped,
+        duplicates_discarded=metrics.total_duplicates_discarded,
         phases=metrics.phase_breakdown(),
     )

@@ -12,7 +12,10 @@ Subcommands
 ``datasets``
     The Table-I stand-in statistics next to the paper's numbers.
 ``lint``
-    Static SPMD-protocol checks (rules R1-R4) over source trees.
+    Static SPMD-protocol checks (rules R1-R5) over source trees.
+``chaos``
+    Fault-injection campaign: sweep seeds x drop rates (plus one
+    scheduled PE crash) and assert exact counts (``docs/FAULTS.md``).
 
 Examples
 --------
@@ -21,6 +24,7 @@ Examples
     repro-tc count --graph rgg2d:4096 --algorithm cetric -p 16
     repro-tc sweep --graph dataset:webbase-2001 --max-pes 32
     repro-tc datasets --scale 0.5
+    repro-tc chaos --seeds 5 --drop-rates 0,0.05 --algorithms cetric
 """
 
 from __future__ import annotations
@@ -206,6 +210,23 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(argv)
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .faults import format_campaign, run_campaign
+
+    graph = parse_graph_spec(args.graph) if args.graph else None
+    outcomes = run_campaign(
+        algorithms=tuple(args.algorithms.split(",")),
+        seeds=range(args.seeds),
+        drop_rates=tuple(float(r) for r in args.drop_rates.split(",")),
+        duplicate_rate=args.duplicate_rate,
+        crash_fraction=None if args.no_crash else args.crash_fraction,
+        graph=graph,
+        num_pes=args.pes,
+    )
+    print(format_campaign(outcomes))
+    return 0 if all(o.exact for o in outcomes) else 1
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     print(f"{'instance':<14s} {'n':>8s} {'m':>9s} {'wedges':>12s} {'triangles':>10s}"
           f"   | paper (millions): n, m, wedges, triangles")
@@ -269,10 +290,30 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("--scale", type=float, default=1.0)
     d.set_defaults(func=_cmd_datasets)
 
-    li = sub.add_parser("lint", help="static SPMD protocol checks (R1-R4)")
+    li = sub.add_parser("lint", help="static SPMD protocol checks (R1-R5)")
     li.add_argument("paths", nargs="*", default=["src"], help="files/dirs to lint")
     li.add_argument("--list-rules", action="store_true", help="print rule catalogue")
     li.set_defaults(func=_cmd_lint)
+
+    ch = sub.add_parser(
+        "chaos", help="fault-injection campaign asserting exact counts"
+    )
+    ch.add_argument(
+        "--graph", default="", help="graph spec (default: built-in GNM instance)"
+    )
+    ch.add_argument("--algorithms", default="ditric,cetric", help="comma-separated")
+    ch.add_argument("--seeds", type=int, default=10, help="fault-plan seeds 0..N-1")
+    ch.add_argument("--drop-rates", default="0,0.01,0.05", help="comma-separated")
+    ch.add_argument("--duplicate-rate", type=float, default=0.0)
+    ch.add_argument(
+        "--crash-fraction",
+        type=float,
+        default=0.5,
+        help="crash one PE at this fraction of the run",
+    )
+    ch.add_argument("--no-crash", action="store_true", help="disable the PE crash")
+    ch.add_argument("-p", "--pes", type=int, default=4, help="simulated PEs")
+    ch.set_defaults(func=_cmd_chaos)
     return parser
 
 

@@ -20,6 +20,7 @@ from typing import Generator
 
 from ..graphs.distributed import DistGraph
 from ..net.machine import PEContext
+from ..net.reliable import fault_tolerant
 from .engine import EngineConfig, PECounts, counting_program
 
 __all__ = ["cetric_program", "cetric2_program", "CETRIC_CONFIG", "CETRIC2_CONFIG"]
@@ -31,15 +32,21 @@ CETRIC_CONFIG = EngineConfig(contraction=True, aggregate=True, indirect=False, s
 CETRIC2_CONFIG = EngineConfig(contraction=True, aggregate=True, indirect=True, surrogate=True)
 
 
+@fault_tolerant
 def cetric_program(
     ctx: PEContext, dist: DistGraph, config: EngineConfig = CETRIC_CONFIG
 ) -> Generator[None, None, PECounts]:
-    """SPMD program for CETRIC (pass a modified config for ablations)."""
+    """SPMD program for CETRIC (pass a modified config for ablations).
+
+    Fault-tolerant: checkpoints at phase boundaries and survives the
+    :mod:`repro.faults` fault model (see ``docs/FAULTS.md``).
+    """
     if not config.contraction:
         raise ValueError("CETRIC requires contraction; use ditric_program")
     return (yield from counting_program(ctx, dist, config))
 
 
+@fault_tolerant
 def cetric2_program(ctx: PEContext, dist: DistGraph) -> Generator[None, None, PECounts]:
     """SPMD program for CETRIC² (indirect delivery)."""
     return (yield from counting_program(ctx, dist, CETRIC2_CONFIG))

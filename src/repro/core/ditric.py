@@ -22,6 +22,7 @@ from typing import Generator
 
 from ..graphs.distributed import DistGraph
 from ..net.machine import PEContext
+from ..net.reliable import fault_tolerant
 from .engine import EngineConfig, PECounts, counting_program
 
 __all__ = ["ditric_program", "ditric2_program", "DITRIC_CONFIG", "DITRIC2_CONFIG"]
@@ -33,15 +34,21 @@ DITRIC_CONFIG = EngineConfig(contraction=False, aggregate=True, indirect=False, 
 DITRIC2_CONFIG = EngineConfig(contraction=False, aggregate=True, indirect=True, surrogate=True)
 
 
+@fault_tolerant
 def ditric_program(
     ctx: PEContext, dist: DistGraph, config: EngineConfig = DITRIC_CONFIG
 ) -> Generator[None, None, PECounts]:
-    """SPMD program for DITRIC (pass a modified config for ablations)."""
+    """SPMD program for DITRIC (pass a modified config for ablations).
+
+    Fault-tolerant: checkpoints at phase boundaries and survives the
+    :mod:`repro.faults` fault model (see ``docs/FAULTS.md``).
+    """
     if config.contraction:
         raise ValueError("DITRIC does not contract; use cetric_program")
     return (yield from counting_program(ctx, dist, config))
 
 
+@fault_tolerant
 def ditric2_program(ctx: PEContext, dist: DistGraph) -> Generator[None, None, PECounts]:
     """SPMD program for DITRIC² (indirect delivery)."""
     return (yield from counting_program(ctx, dist, DITRIC2_CONFIG))

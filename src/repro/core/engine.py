@@ -21,6 +21,19 @@ Phases are attributed to the labels Fig. 7 uses: ``preprocessing``
 expanded graph), ``local`` (intersections on locally available arcs),
 ``contraction`` and ``global`` (message exchange plus receiver-side
 intersections and the final reduction).
+
+Fault tolerance
+---------------
+The program is marked :func:`~repro.net.reliable.fault_tolerant`: on a
+machine with a checkpoint store (see
+:func:`repro.core.checkpoint.run_with_recovery`) it snapshots at the
+phase boundaries of Lemma 1's decomposition — after the local phase
+(oriented structure + type-1/2 count) and after contraction (the cut
+send structure) — so a PE crash during the communication-heavy global
+phase re-runs only that phase.  All point-to-point traffic flows
+through the aggregation queues and collectives, which ride the
+machine's transport; there are no raw ``ctx.send`` calls here (lint
+rule R5 checks this).
 """
 
 from __future__ import annotations
@@ -35,8 +48,9 @@ from ..net.aggregation import BufferedMessageQueue, Record
 from ..net.comm import allreduce
 from ..net.indirect import GridRouter
 from ..net.machine import PEContext
+from ..net.reliable import fault_tolerant
 from .kernels import count_csr_pairs, count_record_pairs
-from .preprocessing import build_oriented, exchange_ghost_degrees
+from .preprocessing import OrientedLocalGraph, build_oriented, exchange_ghost_degrees
 
 __all__ = ["EngineConfig", "PECounts", "counting_program"]
 
@@ -150,6 +164,7 @@ def _surrogate_filter(
     return first
 
 
+@fault_tolerant
 def counting_program(
     ctx: PEContext, dist: DistGraph, config: EngineConfig
 ) -> Generator[None, None, PECounts]:
@@ -158,18 +173,57 @@ def counting_program(
     vlo, vhi = lg.vlo, lg.vhi
     bound = dist.num_vertices + 1
 
-    with ctx.phase("preprocessing"):
-        yield from exchange_ghost_degrees(ctx, lg, mode=config.degree_exchange)
-        og = build_oriented(ctx, lg, with_ghosts=config.contraction)
+    snap = ctx.restore("local")
+    if snap is None:
+        with ctx.phase("preprocessing"):
+            yield from exchange_ghost_degrees(ctx, lg, mode=config.degree_exchange)
+            og = build_oriented(ctx, lg, with_ghosts=config.contraction)
 
-    with ctx.phase("local"):
-        local_count = _local_phase_pairs(ctx, og, expanded=config.contraction)
+        with ctx.phase("local"):
+            local_count = _local_phase_pairs(ctx, og, expanded=config.contraction)
+            yield
+
+        ctx.checkpoint(
+            "local",
+            {
+                "oxadj": og.oxadj,
+                "oadjncy": og.oadjncy,
+                "goxadj": og.goxadj,
+                "goadjncy": og.goadjncy,
+                "local_keys": og.local_keys,
+                "ghost_keys": og.ghost_keys,
+                "local_count": int(local_count),
+            },
+        )
+    else:
+        # Replay: the whole preprocessing + local phase — including the
+        # degree-exchange messages — is skipped on *every* PE (the
+        # store only replays globally stable snapshots), so the SPMD
+        # message pattern stays consistent.
+        og = OrientedLocalGraph(
+            lg=lg,
+            oxadj=snap["oxadj"],
+            oadjncy=snap["oadjncy"],
+            goxadj=snap["goxadj"],
+            goadjncy=snap["goadjncy"],
+            local_keys=snap["local_keys"],
+            ghost_keys=snap["ghost_keys"],
+        )
+        local_count = snap["local_count"]
         yield
 
     if config.contraction:
-        with ctx.phase("contraction"):
-            send_xadj, send_adj = og.contracted()
-            ctx.charge(og.oadjncy.size)  # one pass to drop non-cut arcs
+        csnap = ctx.restore("contraction")
+        if csnap is None:
+            with ctx.phase("contraction"):
+                send_xadj, send_adj = og.contracted()
+                ctx.charge(og.oadjncy.size)  # one pass to drop non-cut arcs
+            ctx.checkpoint(
+                "contraction", {"send_xadj": send_xadj, "send_adj": send_adj}
+            )
+        else:
+            send_xadj, send_adj = csnap["send_xadj"], csnap["send_adj"]
+            yield
     else:
         send_xadj, send_adj = og.oxadj, og.oadjncy
 

@@ -1,0 +1,58 @@
+"""Deterministic fault injection for the simulated machine.
+
+The paper's evaluation assumes a perfectly reliable MPI fabric; this
+package provides the adversary that the runtime protocol verifier
+(PR 1) was built for, plus the machinery that lets every algorithm
+finish with *exact* triangle counts anyway:
+
+* :class:`~repro.faults.plan.FaultPlan` — a seeded, declarative plan
+  of message drops / duplicates / delays / reorderings, scheduled
+  PE crash-stops, and per-rank straggler slowdowns.  The
+  :class:`~repro.net.machine.Machine` consults it at every send,
+  delivery, and scheduling step.
+* :mod:`repro.net.reliable` — the reliable-transport layer (sequence
+  numbers, acks, timeout + exponential-backoff retransmit, dedup on
+  receive) whose costs are charged to the alpha-beta model.
+* :mod:`repro.core.checkpoint` — coordinated checkpoint/restart:
+  phase-boundary snapshots plus :func:`run_with_recovery`, which
+  restarts crashed runs from the last globally stable checkpoint.
+* :mod:`repro.faults.chaos` — the chaos harness: sweeps seeds x fault
+  rates x crashes and asserts count-exactness against the sequential
+  baseline (``repro-tc chaos`` on the command line).
+
+See ``docs/FAULTS.md`` for the fault model, recovery semantics, and
+determinism guarantees.
+"""
+
+from ..core.checkpoint import CheckpointStore, RecoveryResult, run_with_recovery
+from ..net.reliable import (
+    ReliableConfig,
+    TransportError,
+    fault_tolerant,
+    reliable_send,
+)
+from .chaos import (
+    CHAOS_ALGORITHMS,
+    ChaosOutcome,
+    format_campaign,
+    run_campaign,
+    run_chaos_case,
+)
+from .plan import CrashEvent, FaultPlan
+
+__all__ = [
+    "CrashEvent",
+    "FaultPlan",
+    "CheckpointStore",
+    "RecoveryResult",
+    "run_with_recovery",
+    "ReliableConfig",
+    "TransportError",
+    "fault_tolerant",
+    "reliable_send",
+    "CHAOS_ALGORITHMS",
+    "ChaosOutcome",
+    "format_campaign",
+    "run_campaign",
+    "run_chaos_case",
+]

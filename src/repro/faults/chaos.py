@@ -1,0 +1,243 @@
+"""The chaos harness: fault campaigns asserting exact counts.
+
+A *chaos case* runs one algorithm on one graph under one
+:class:`~repro.faults.plan.FaultPlan` — reliable transport, optional
+scheduled PE crash with checkpoint/restart — and compares the result
+against the sequential COMPACT-FORWARD baseline.  A *campaign* sweeps
+seeds × drop rates × algorithms; every case must return the **exact**
+triangle count (resilience must never trade correctness).
+
+Crash scheduling: a crash is declared as a *fraction* of the run, not
+an absolute event index (nobody knows a run's length up front).  The
+harness first executes a fault-free dry run to measure the machine's
+total event count, then plants the crash at the requested fraction of
+it — reproducible across hosts because event counts, unlike wall
+times, are deterministic.
+
+Entry points: :func:`run_chaos_case`, :func:`run_campaign`,
+:func:`format_campaign`; ``repro-tc chaos`` on the command line; the
+acceptance campaign lives in ``tests/test_faults.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..core.cetric import CETRIC2_CONFIG, CETRIC_CONFIG
+from ..core.checkpoint import CheckpointStore, run_with_recovery
+from ..core.ditric import DITRIC2_CONFIG, DITRIC_CONFIG
+from ..core.edge_iterator import edge_iterator
+from ..core.engine import EngineConfig, counting_program
+from ..graphs.csr import CSRGraph
+from ..graphs.distributed import DistGraph, distribute
+from ..graphs.generators import gnm
+from ..net.costmodel import DEFAULT_SPEC, MachineSpec
+from ..net.machine import Machine
+from .plan import CrashEvent, FaultPlan
+
+__all__ = [
+    "CHAOS_ALGORITHMS",
+    "ChaosOutcome",
+    "default_chaos_graph",
+    "run_chaos_case",
+    "run_campaign",
+    "format_campaign",
+]
+
+#: Fault-tolerant algorithm configurations the harness can exercise.
+CHAOS_ALGORITHMS: dict[str, EngineConfig] = {
+    "ditric": DITRIC_CONFIG,
+    "ditric2": DITRIC2_CONFIG,
+    "cetric": CETRIC_CONFIG,
+    "cetric2": CETRIC2_CONFIG,
+}
+
+
+@dataclass(frozen=True)
+class ChaosOutcome:
+    """One chaos case: configuration, result, and resilience costs."""
+
+    algorithm: str
+    graph: str
+    num_pes: int
+    seed: int
+    drop_rate: float
+    duplicate_rate: float
+    crashed_rank: int | None
+    #: Distributed count under faults vs. the sequential ground truth.
+    triangles: int
+    expected: int
+    #: Restarts the recovery driver needed (0 = no crash).
+    restarts: int
+    #: Modelled running time of the surviving run.
+    time: float
+    retransmits: int
+    messages_dropped: int
+    duplicates_discarded: int
+
+    @property
+    def exact(self) -> bool:
+        """Whether the faulty run still counted exactly."""
+        return self.triangles == self.expected
+
+
+def default_chaos_graph(seed: int = 7) -> CSRGraph:
+    """The campaign's default input: a small triangle-rich GNM graph."""
+    return gnm(48, 240, seed=seed, name=f"gnm48-{seed}")
+
+
+def run_chaos_case(
+    graph: CSRGraph,
+    algorithm: str,
+    num_pes: int = 4,
+    *,
+    seed: int = 0,
+    drop_rate: float = 0.0,
+    duplicate_rate: float = 0.0,
+    delay_rate: float = 0.0,
+    crash_fraction: float | None = None,
+    crash_rank: int | None = None,
+    stragglers: dict[int, float] | None = None,
+    spec: MachineSpec = DEFAULT_SPEC,
+    expected: int | None = None,
+) -> ChaosOutcome:
+    """Run one algorithm under one fault plan and check exactness.
+
+    ``crash_fraction`` (in ``(0, 1)``) schedules one crash-stop of
+    ``crash_rank`` (default: the middle rank) at that fraction of the
+    fault-free run's event count; ``None`` disables crashes.
+    ``expected`` short-circuits the sequential baseline when the
+    caller already knows the ground truth (campaigns reuse it).
+    """
+    if algorithm not in CHAOS_ALGORITHMS:
+        raise ValueError(
+            f"unknown chaos algorithm {algorithm!r}; "
+            f"choose from {sorted(CHAOS_ALGORITHMS)}"
+        )
+    config = CHAOS_ALGORITHMS[algorithm]
+    if expected is None:
+        expected = int(edge_iterator(graph).triangles)
+    dist: DistGraph = distribute(graph, num_pes=num_pes)
+    p = dist.num_pes
+
+    crashes: tuple[CrashEvent, ...] = ()
+    crashed_rank: int | None = None
+    if crash_fraction is not None:
+        if not (0.0 < crash_fraction < 1.0):
+            raise ValueError("crash_fraction must be in (0, 1)")
+        dry = Machine(p, spec).run(counting_program, dist, config)
+        crashed_rank = p // 2 if crash_rank is None else crash_rank
+        crashes = (
+            CrashEvent(rank=crashed_rank, at_event=int(dry.events * crash_fraction)),
+        )
+
+    plan = FaultPlan(
+        seed,
+        drop_rate=drop_rate,
+        duplicate_rate=duplicate_rate,
+        delay_rate=delay_rate,
+        crashes=crashes,
+        stragglers=stragglers,
+    )
+    machine = Machine(
+        p,
+        spec,
+        fault_plan=plan,
+        transport="reliable",
+        checkpoint_store=CheckpointStore(p),
+    )
+    recovery = run_with_recovery(machine, counting_program, dist, config)
+    metrics = recovery.result.metrics
+    return ChaosOutcome(
+        algorithm=algorithm,
+        graph=dist.name,
+        num_pes=p,
+        seed=seed,
+        drop_rate=drop_rate,
+        duplicate_rate=duplicate_rate,
+        crashed_rank=crashed_rank,
+        triangles=int(recovery.values[0].triangles_total),
+        expected=expected,
+        restarts=recovery.restarts,
+        time=metrics.makespan,
+        retransmits=metrics.total_retransmits,
+        messages_dropped=metrics.total_messages_dropped,
+        duplicates_discarded=metrics.total_duplicates_discarded,
+    )
+
+
+def run_campaign(
+    *,
+    algorithms: Sequence[str] = ("ditric", "cetric"),
+    seeds: Iterable[int] = range(10),
+    drop_rates: Sequence[float] = (0.0, 0.01, 0.05),
+    duplicate_rate: float = 0.0,
+    crash_fraction: float | None = 0.5,
+    graph: CSRGraph | None = None,
+    num_pes: int = 4,
+    spec: MachineSpec = DEFAULT_SPEC,
+) -> list[ChaosOutcome]:
+    """Sweep seeds × drop rates × algorithms; return all outcomes.
+
+    The defaults are the acceptance campaign of ISSUE 2: 10 seeds ×
+    drop rates {0, 0.01, 0.05} × one scheduled PE crash for DITRIC and
+    CETRIC, on a small triangle-rich GNM graph.
+    """
+    if graph is None:
+        graph = default_chaos_graph()
+    expected = int(edge_iterator(graph).triangles)
+    outcomes: list[ChaosOutcome] = []
+    for algorithm in algorithms:
+        for drop_rate in drop_rates:
+            for seed in seeds:
+                outcomes.append(
+                    run_chaos_case(
+                        graph,
+                        algorithm,
+                        num_pes,
+                        seed=seed,
+                        drop_rate=drop_rate,
+                        duplicate_rate=duplicate_rate,
+                        crash_fraction=crash_fraction,
+                        spec=spec,
+                        expected=expected,
+                    )
+                )
+    return outcomes
+
+
+def format_campaign(outcomes: Sequence[ChaosOutcome]) -> str:
+    """Human-readable campaign summary (one line per cell + verdict)."""
+    if not outcomes:
+        return "chaos campaign: no cases run"
+    lines = [
+        f"{'algorithm':<10s} {'drop':>6s} {'cases':>6s} {'exact':>6s} "
+        f"{'restarts':>8s} {'retrans':>8s} {'dropped':>8s} {'dedup':>6s}"
+    ]
+    cells: dict[tuple[str, float], list[ChaosOutcome]] = {}
+    for o in outcomes:
+        cells.setdefault((o.algorithm, o.drop_rate), []).append(o)
+    for (algorithm, drop_rate), cases in sorted(cells.items()):
+        lines.append(
+            f"{algorithm:<10s} {drop_rate:>6.2%} {len(cases):>6d} "
+            f"{sum(c.exact for c in cases):>6d} "
+            f"{sum(c.restarts for c in cases):>8d} "
+            f"{sum(c.retransmits for c in cases):>8d} "
+            f"{sum(c.messages_dropped for c in cases):>8d} "
+            f"{sum(c.duplicates_discarded for c in cases):>6d}"
+        )
+    failures = [o for o in outcomes if not o.exact]
+    if failures:
+        lines.append(f"FAILED: {len(failures)}/{len(outcomes)} cases inexact")
+        for o in failures[:10]:
+            lines.append(
+                f"  {o.algorithm} seed={o.seed} drop={o.drop_rate}: "
+                f"got {o.triangles}, expected {o.expected}"
+            )
+    else:
+        lines.append(
+            f"OK: {len(outcomes)}/{len(outcomes)} cases returned the exact "
+            f"sequential count"
+        )
+    return "\n".join(lines)

@@ -25,6 +25,11 @@ RULES: dict[str, str] = {
         "SPMD hygiene: ctx.send without an explicit words cost, or "
         "wall-clock / unseeded randomness inside SPMD code"
     ),
+    "R5": (
+        "direct ctx.send inside a program marked @fault_tolerant — "
+        "route it through repro.net.reliable.reliable_send so the "
+        "transport can sequence and retransmit it"
+    ),
     "R0": "file could not be parsed",
 }
 

@@ -1,4 +1,4 @@
-"""AST rules enforcing the SPMD protocol contract (R1–R4).
+"""AST rules enforcing the SPMD protocol contract (R1–R5).
 
 The machine in :mod:`repro.net.machine` runs SPMD programs written as
 generators; its correctness contract (``docs/SPMD_CONTRACT.md``) cannot
@@ -25,6 +25,13 @@ R4
     Cost-model and determinism hygiene inside SPMD code: every
     ``ctx.send`` must carry an explicit ``words`` cost, and SPMD code
     must not consult wall clocks or unseeded random generators.
+R5
+    A program decorated ``@fault_tolerant`` promises to survive the
+    :mod:`repro.faults` fault model, which requires every hand-written
+    point-to-point send to go through
+    :func:`repro.net.reliable.reliable_send` (the aggregation queues
+    and collectives already ride the machine's transport).  A direct
+    ``ctx.send`` in such a program bypasses the runtime guard.
 
 The rules are heuristic by design (no type inference); suppress a
 deliberate violation with ``# noqa: R<n>`` on the offending line.
@@ -162,6 +169,12 @@ class _FunctionInfo:
         )
         #: SPMD scope: the function handles a PEContext (R4 applies).
         self.is_spmd = has_ctx_param or touches_ctx
+        #: Marked ``@fault_tolerant`` (R5 applies to its direct sends).
+        self.is_fault_tolerant = any(
+            (isinstance(d, ast.Name) and d.id == "fault_tolerant")
+            or (isinstance(d, ast.Attribute) and d.attr == "fault_tolerant")
+            for d in fn.decorator_list
+        )
         #: Local names aliasing ``ctx.rank`` (``rank = ctx.rank``).
         self.rank_aliases: set[str] = {"rank"}
         for n in body_nodes:
@@ -338,6 +351,19 @@ class _Checker(ast.NodeVisitor):
             )
         if self._fn is not None and self._fn.is_spmd:
             self._check_r4(node)
+        if (
+            self._fn is not None
+            and self._fn.is_fault_tolerant
+            and _is_send_call(node)
+            and _is_ctx_expr(node.func.value)
+        ):
+            self._emit(
+                node,
+                "R5",
+                "direct ctx.send(...) inside a @fault_tolerant program — "
+                "use reliable_send(ctx, ...) so the reliable transport can "
+                "sequence and retransmit the message",
+            )
         self.generic_visit(node)
 
     def _check_r4(self, node: ast.Call) -> None:

@@ -8,7 +8,10 @@
   messages (barrier, allreduce, dense & sparse all-to-all);
 * :class:`~repro.net.aggregation.BufferedMessageQueue` — DITRIC's
   dynamic aggregation with linear memory;
-* :class:`~repro.net.indirect.GridRouter` — 2D-grid indirect delivery.
+* :class:`~repro.net.indirect.GridRouter` — 2D-grid indirect delivery;
+* :mod:`~repro.net.reliable` — reliable/lossy transports under the
+  :mod:`repro.faults` fault model (sequence numbers, acks, retransmit,
+  dedup), costs charged to the alpha-beta model.
 """
 
 from .aggregation import BufferedMessageQueue, Record, unpack_records
@@ -29,11 +32,20 @@ from .machine import (
     MachineResult,
     OutOfMemoryError,
     PEContext,
+    PECrashError,
     ProtocolError,
 )
 from .messages import HEADER_WORDS, Message
 from .metrics import PEMetrics, RunMetrics
 from .parallel import ProcessMachine, RemoteDist
+from .reliable import (
+    LossyTransport,
+    ReliableConfig,
+    ReliableTransport,
+    TransportError,
+    fault_tolerant,
+    reliable_send,
+)
 from .trace import TraceEvent, Tracer, render_timeline
 
 __all__ = [
@@ -60,7 +72,14 @@ __all__ = [
     "MachineResult",
     "OutOfMemoryError",
     "PEContext",
+    "PECrashError",
     "ProtocolError",
+    "LossyTransport",
+    "ReliableConfig",
+    "ReliableTransport",
+    "TransportError",
+    "fault_tolerant",
+    "reliable_send",
     "HEADER_WORDS",
     "Message",
     "PEMetrics",

@@ -116,7 +116,14 @@ class BufferedMessageQueue:
             self.flush()
 
     def flush(self) -> None:
-        """Send every non-empty buffer as one aggregated message."""
+        """Send every non-empty buffer as one aggregated message.
+
+        These sends ride the machine's configured transport, so under
+        a :mod:`repro.faults` plan the reliable layer sequences and
+        retransmits them — fault-tolerant programs may use the queue
+        freely (no :func:`~repro.net.reliable.reliable_send` wrapper
+        needed; lint rule R5 only patrols hand-written ``ctx.send``).
+        """
         if not self._buffers:
             return
         for dest, records in sorted(self._buffers.items()):

@@ -184,6 +184,15 @@ def sparse_alltoall(
     the inbox can be drained to completion.
 
     Self-addressed payloads are returned locally without a message.
+
+    Delivery assumptions: the exchange tolerates *reordered* and
+    *duplicated-then-deduplicated* delivery (receivers key on the tag,
+    not arrival order), but the barrier-then-drain termination requires
+    that every posted message is eventually delivered exactly once —
+    i.e. the fault-free direct path or the reliable transport of
+    :mod:`repro.net.reliable`.  Raw loss or app-visible duplicates (the
+    lossy transport) break the message count; see the fault-delivery
+    tests in ``tests/test_comm.py``.
     """
     cid = ctx.enter_collective(f"sparse-alltoall:{tag_label}")
     tag = (tag_label, cid)
@@ -208,7 +217,12 @@ def sparse_alltoall(
 
 
 def drain(ctx: PEContext, tag: Tag) -> list[Message]:
-    """Consume and return every pending message with ``tag``."""
+    """Consume and return every pending message with ``tag``.
+
+    Order-insensitive by construction: callers get whatever is queued,
+    in queue order, so injected reordering (``repro.faults``) changes
+    the list order but never the multiset of messages.
+    """
     out: list[Message] = []
     while True:
         msg = ctx.try_recv(tag)

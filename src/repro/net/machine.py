@@ -47,6 +47,7 @@ from typing import Any, Callable, Generator
 from .costmodel import DEFAULT_SPEC, MachineSpec
 from .messages import Message, Tag
 from .metrics import PEMetrics, RunMetrics
+from .reliable import LossyTransport, ReliableConfig, ReliableTransport
 
 __all__ = [
     "Machine",
@@ -54,12 +55,31 @@ __all__ = [
     "MachineResult",
     "DeadlockError",
     "OutOfMemoryError",
+    "PECrashError",
     "ProtocolError",
 ]
 
 
 class DeadlockError(RuntimeError):
     """All live PEs are idle, no messages are pending — nothing can progress."""
+
+
+class PECrashError(RuntimeError):
+    """A PE crash-stopped per the machine's fault plan.
+
+    The whole run aborts (crash-stop, not fail-slow): on a real
+    machine the survivors would detect the failure and re-launch from
+    the last checkpoint, which is exactly what
+    :func:`repro.core.checkpoint.run_with_recovery` does with this
+    exception.
+    """
+
+    def __init__(self, rank: int, event: int):
+        super().__init__(
+            f"PE {rank} crash-stopped at machine event {event} (fault plan)"
+        )
+        self.rank = rank
+        self.event = event
 
 
 class ProtocolError(RuntimeError):
@@ -103,6 +123,9 @@ class PEContext:
         #: Tag this PE is currently blocked on inside ``recv`` (deadlock
         #: diagnostics); ``None`` while the PE is making progress.
         self._blocked_tag: Tag | None = None
+        #: Straggler factor (>= 1) multiplying every charged cost;
+        #: set from the machine's fault plan, 1.0 on healthy PEs.
+        self._slowdown: float = 1.0
 
     # ------------------------------------------------------------------
     # Clock / work accounting
@@ -117,14 +140,14 @@ class PEContext:
         if ops < 0:
             raise ValueError("ops must be non-negative")
         self.metrics.local_ops += int(ops)
-        self.metrics.clock += self.spec.compute_time(int(ops))
+        self.metrics.clock += self._slowdown * self.spec.compute_time(int(ops))
         self._machine._note_progress()
 
     def charge_time(self, seconds: float) -> None:
         """Advance the clock directly (hybrid-executor support)."""
         if seconds < 0:
             raise ValueError("seconds must be non-negative")
-        self.metrics.clock += seconds
+        self.metrics.clock += self._slowdown * seconds
         self._machine._note_progress()
 
     @contextmanager
@@ -159,7 +182,7 @@ class PEContext:
             raise ValueError(f"invalid destination rank {dest}")
         if words < 0:
             raise ValueError("words must be non-negative")
-        self.metrics.clock += self.spec.message_time(words)
+        self.metrics.clock += self._slowdown * self.spec.message_time(words)
         self.metrics.messages_sent += 1
         self.metrics.words_sent += int(words)
         msg = Message(
@@ -173,7 +196,13 @@ class PEContext:
         tracer = getattr(self._machine, "tracer", None)
         if tracer is not None:
             tracer.send(self.metrics.clock, self.rank, dest, tag, int(words))
-        self._machine._deliver(msg)
+        # Transport shims (ProcessMachine, MpiContext) have no network
+        # layer and deliver directly.
+        transmit = getattr(self._machine, "_transmit", None)
+        if transmit is not None:
+            transmit(msg)
+        else:
+            self._machine._deliver(msg)
 
     def try_recv(self, tag: Tag) -> Message | None:
         """Consume the oldest pending message with ``tag``, if any.
@@ -186,7 +215,7 @@ class PEContext:
             return None
         msg = q.popleft()
         self.metrics.clock = max(self.metrics.clock, msg.send_time)
-        self.metrics.clock += self.spec.message_time(msg.words)
+        self.metrics.clock += self._slowdown * self.spec.message_time(msg.words)
         self.metrics.messages_received += 1
         self.metrics.words_received += msg.words
         tracer = getattr(self._machine, "tracer", None)
@@ -232,6 +261,51 @@ class PEContext:
         """Back-compat alias for :meth:`enter_collective` (unlabelled)."""
         return self.enter_collective()
 
+    # ------------------------------------------------------------------
+    # Checkpoint / restart (coordinated, phase-boundary)
+    # ------------------------------------------------------------------
+    def checkpoint(self, name: str, state: Any) -> bool:
+        """Snapshot ``state`` under ``name`` at a phase boundary.
+
+        No-op (returns ``False``) unless the machine carries a
+        :class:`repro.core.checkpoint.CheckpointStore`.  Writing the
+        snapshot is charged like sending its size to stable storage
+        (``alpha + beta * words``), so checkpoint cadence shows up in
+        simulated time.  Snapshots taken by one run become restorable
+        only after :meth:`CheckpointStore.prune_to_stable` declares
+        them globally consistent — programs never observe a checkpoint
+        that some other PE missed.
+        """
+        store = getattr(self._machine, "checkpoint_store", None)
+        if store is None:
+            return False
+        words = store.save(self.rank, name, state)
+        self.metrics.clock += self._slowdown * self.spec.message_time(words)
+        self._machine._note_progress()
+        return True
+
+    def restore(self, name: str) -> Any | None:
+        """Return the next stable snapshot if it is named ``name``.
+
+        ``None`` means "no checkpoint here — compute the phase".
+        Snapshots replay strictly in the order they were taken, so a
+        program that brackets each phase with
+        ``state = ctx.restore(phase) or compute-and-checkpoint`` re-runs
+        exactly the phases that follow the last globally stable
+        checkpoint.  Reading a snapshot back is charged like receiving
+        its size from stable storage.
+        """
+        store = getattr(self._machine, "checkpoint_store", None)
+        if store is None:
+            return None
+        hit = store.load(self.rank, name)
+        if hit is None:
+            return None
+        state, words = hit
+        self.metrics.clock += self._slowdown * self.spec.message_time(words)
+        self._machine._note_progress()
+        return state
+
     def check_memory(self, words: int, *, what: str = "buffer") -> None:
         """Raise :class:`OutOfMemoryError` if ``words`` exceeds the budget."""
         if words > self.spec.memory_words:
@@ -248,6 +322,11 @@ class MachineResult:
     #: Per-PE return values of the SPMD program.
     values: list[Any]
     metrics: RunMetrics
+    #: Final value of the machine's monotone event counter — the
+    #: coordinate system of :class:`repro.faults.plan.CrashEvent`
+    #: schedules (a fault-free dry run measures it, then a crash can
+    #: be planted at any fraction of the run).
+    events: int = 0
 
     @property
     def time(self) -> float:
@@ -275,6 +354,24 @@ class Machine:
         ranks and collectives.  ``None`` (the default) reads the
         ``REPRO_PROTOCOL_CHECK`` environment variable — the test suite
         sets it so every simulated run is verified.
+    fault_plan:
+        Optional :class:`repro.faults.plan.FaultPlan`; the machine
+        consults it at every send (message faults), scheduling step
+        (crash-stops), and cost charge (stragglers).
+    transport:
+        ``"direct"`` (fault-free fast path), ``"reliable"``
+        (:class:`repro.net.reliable.ReliableTransport` — repairs all
+        message faults, charging the repair costs), or ``"lossy"``
+        (:class:`repro.net.reliable.LossyTransport` — faults reach the
+        program).  Defaults to ``"reliable"`` when a fault plan is
+        given, else ``"direct"``.
+    reliable_config:
+        :class:`repro.net.reliable.ReliableConfig` protocol tunables
+        for the reliable transport.
+    checkpoint_store:
+        Optional :class:`repro.core.checkpoint.CheckpointStore`
+        backing ``ctx.checkpoint`` / ``ctx.restore``; usually supplied
+        by :func:`repro.core.checkpoint.run_with_recovery`.
     """
 
     def __init__(
@@ -284,6 +381,10 @@ class Machine:
         *,
         tracer=None,
         protocol_check: bool | None = None,
+        fault_plan=None,
+        transport: str | None = None,
+        reliable_config: ReliableConfig | None = None,
+        checkpoint_store=None,
     ):
         if num_pes < 1:
             raise ValueError("need at least one PE")
@@ -296,6 +397,25 @@ class Machine:
                 "REPRO_PROTOCOL_CHECK", ""
             ).strip().lower() in ("1", "true", "yes", "on")
         self.protocol_check = bool(protocol_check)
+        if transport is None:
+            transport = "reliable" if fault_plan is not None else "direct"
+        if transport not in ("direct", "reliable", "lossy"):
+            raise ValueError(
+                f"unknown transport {transport!r}; "
+                "expected 'direct', 'reliable', or 'lossy'"
+            )
+        if transport == "lossy" and fault_plan is None:
+            raise ValueError("the lossy transport requires a fault plan")
+        if transport == "direct" and fault_plan is not None and fault_plan.any_message_faults:
+            raise ValueError(
+                "a fault plan with message faults needs the 'reliable' or "
+                "'lossy' transport; the direct path cannot inject them"
+            )
+        self.fault_plan = fault_plan
+        self.transport = transport
+        self.reliable_config = reliable_config
+        self.checkpoint_store = checkpoint_store
+        self._network = None
         self._contexts: list[PEContext] = []
         self._collective_log: list[list[str]] = []
         self._progress = 0
@@ -304,6 +424,13 @@ class Machine:
     def _deliver(self, msg: Message) -> None:
         self._contexts[msg.dest]._inbox[msg.tag].append(msg)
         self._note_progress()
+
+    def _transmit(self, msg: Message) -> None:
+        """Carry one application send over the configured transport."""
+        if self._network is not None:
+            self._network.transmit(msg)
+        else:
+            self._deliver(msg)
 
     def _note_progress(self) -> None:
         self._progress += 1
@@ -381,7 +508,15 @@ class Machine:
             for rank, ctx in enumerate(self._contexts)
         }
         leftovers = {rank: census for rank, census in leftovers.items() if census}
-        if leftovers:
+        leftover_total = sum(sum(c.values()) for c in leftovers.values())
+        # Over the lossy transport, injected duplicates may legitimately
+        # sit unconsumed at teardown; anything beyond that allowance is
+        # still a program bug.  Reliable and direct transports preserve
+        # exact application-level conservation.
+        allowed = 0
+        if self._network is not None and not self._network.is_reliable:
+            allowed = self._network.wire_duplicates
+        if leftover_total > allowed:
             sent = sum(c.metrics.messages_sent for c in self._contexts)
             received = sum(c.metrics.messages_received for c in self._contexts)
             details = "; ".join(
@@ -389,7 +524,8 @@ class Machine:
             )
             raise ProtocolError(
                 f"message conservation violated at teardown: {sent} sent, "
-                f"{received} received, {sent - received} undelivered — {details}"
+                f"{received} received, {leftover_total} undelivered "
+                f"({allowed} attributable to injected duplicates) — {details}"
             )
 
     # Public API ---------------------------------------------------------
@@ -411,10 +547,27 @@ class Machine:
         DeadlockError
             If a full scheduling round completes with live PEs but no
             progress (no sends, receives, charges, or completions).
+        PECrashError
+            If the fault plan crash-stops a PE; catch it with
+            :func:`repro.core.checkpoint.run_with_recovery` to restart
+            from the last stable checkpoint.
         """
+        plan = self.fault_plan
+        self._progress = 0
         self._contexts = [
             PEContext(rank, self.num_pes, self.spec, self) for rank in range(self.num_pes)
         ]
+        if plan is not None:
+            for ctx in self._contexts:
+                ctx._slowdown = plan.slowdown(ctx.rank)
+        if self.transport == "reliable":
+            self._network = ReliableTransport(self, plan, self.reliable_config)
+        elif self.transport == "lossy":
+            self._network = LossyTransport(self, plan)
+        else:
+            self._network = None
+        if self.checkpoint_store is not None:
+            self.checkpoint_store.begin_run()
         self._collective_log = [[] for _ in range(self.num_pes)]
         gens = [program(ctx, *args, **kwargs) for ctx in self._contexts]
         values: list[Any] = [None] * self.num_pes
@@ -425,6 +578,8 @@ class Machine:
             before = self._progress
             finished: list[int] = []
             for rank in sorted(live):
+                if plan is not None and plan.crash_due(rank, self._progress):
+                    raise PECrashError(rank, self._progress)
                 try:
                     next(gens[rank])
                 except StopIteration as stop:
@@ -445,5 +600,7 @@ class Machine:
         if self.protocol_check:
             self._check_teardown()
         return MachineResult(
-            values=values, metrics=RunMetrics(per_pe=[c.metrics for c in self._contexts])
+            values=values,
+            metrics=RunMetrics(per_pe=[c.metrics for c in self._contexts]),
+            events=self._progress,
         )

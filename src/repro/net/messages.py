@@ -48,6 +48,11 @@ class Message:
     seq:
         Global monotonically increasing id; keeps delivery order
         deterministic.
+    channel_seq:
+        Per-(src, dest) channel sequence number stamped by the
+        reliable transport (:mod:`repro.net.reliable`) so the receive
+        side can deduplicate and preserve FIFO order; ``None`` on the
+        fault-free direct path.
     """
 
     src: int
@@ -57,6 +62,7 @@ class Message:
     words: int
     send_time: float
     seq: int = field(default_factory=lambda: next(_seq))
+    channel_seq: int | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -30,6 +30,15 @@ class PEMetrics:
     local_ops: int = 0
     #: Largest number of words ever held in aggregation buffers.
     peak_buffer_words: int = 0
+    #: Resilience counters (``repro.net.reliable``): retransmissions
+    #: this PE paid for, retransmission timeouts it sat through, wire
+    #: transmissions of its messages that were dropped, and duplicate
+    #: deliveries it discarded on receive.  All zero on a fault-free
+    #: run over any transport.
+    retransmits: int = 0
+    timeouts: int = 0
+    messages_dropped: int = 0
+    duplicates_discarded: int = 0
     #: Simulated seconds attributed to named phases.
     phase_times: dict[str, float] = field(default_factory=lambda: defaultdict(float))
 
@@ -85,6 +94,37 @@ class RunMetrics:
         """Max aggregation-buffer high-water mark over PEs (memory claim)."""
         return max((m.peak_buffer_words for m in self.per_pe), default=0)
 
+    # Resilience aggregates (fault-injected runs) ----------------------
+    @property
+    def total_retransmits(self) -> int:
+        """Total reliable-transport retransmissions across the machine."""
+        return sum(m.retransmits for m in self.per_pe)
+
+    @property
+    def total_timeouts(self) -> int:
+        """Total retransmission timeouts across the machine."""
+        return sum(m.timeouts for m in self.per_pe)
+
+    @property
+    def total_messages_dropped(self) -> int:
+        """Total wire transmissions lost to injected drops."""
+        return sum(m.messages_dropped for m in self.per_pe)
+
+    @property
+    def total_duplicates_discarded(self) -> int:
+        """Total duplicate deliveries discarded by receive-side dedup."""
+        return sum(m.duplicates_discarded for m in self.per_pe)
+
+    @property
+    def max_retransmits(self) -> int:
+        """Bottleneck resilience cost: max retransmissions on one PE."""
+        return max((m.retransmits for m in self.per_pe), default=0)
+
+    @property
+    def max_messages_dropped(self) -> int:
+        """Bottleneck fault pressure: max dropped transmissions on one PE."""
+        return max((m.messages_dropped for m in self.per_pe), default=0)
+
     def phase_breakdown(self) -> dict[str, float]:
         """Per-phase modelled time: max over PEs of each phase's time.
 
@@ -108,6 +148,12 @@ class RunMetrics:
             "total_messages": self.total_messages,
             "total_ops": self.total_ops,
             "peak_buffer_words": self.max_peak_buffer_words,
+            "retransmits": self.total_retransmits,
+            "timeouts": self.total_timeouts,
+            "messages_dropped": self.total_messages_dropped,
+            "duplicates_discarded": self.total_duplicates_discarded,
+            "max_retransmits": self.max_retransmits,
+            "max_messages_dropped": self.max_messages_dropped,
         }
         for name, t in sorted(self.phase_breakdown().items()):
             out[f"phase_{name}"] = t

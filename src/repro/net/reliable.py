@@ -1,0 +1,309 @@
+"""Reliable and lossy transports for the simulated machine.
+
+The fault-free :class:`~repro.net.machine.Machine` hands every sent
+message straight to the destination inbox.  When a
+:class:`~repro.faults.plan.FaultPlan` is attached, delivery instead
+goes through one of two transports:
+
+:class:`ReliableTransport`
+    Models the protocol a real system would run below MPI on a lossy
+    fabric: per-channel **sequence numbers**, **cumulative acks**,
+    **timeout + exponential-backoff retransmission**, and **dedup on
+    receive**.  The program observes exactly the fault-free message
+    stream (same messages, same per-channel FIFO order), so algorithm
+    results are bit-identical to the reliable-fabric run — but every
+    retransmission, timeout wait, and ack is charged to the alpha-beta
+    cost model, so resilience overhead shows up in simulated time and
+    in the ``retransmits`` / ``timeouts`` / ``messages_dropped`` /
+    ``duplicates_discarded`` counters of
+    :class:`~repro.net.metrics.PEMetrics`.
+
+:class:`LossyTransport`
+    The raw adversary: drops lose messages for good, duplicates and
+    reordered deliveries reach the program.  Used to demonstrate *why*
+    the reliable layer exists and to test protocol robustness against
+    at-least-once delivery (see the duplicated/reordered-delivery
+    tests in ``tests/test_comm.py``).
+
+Programs that require reliable delivery mark themselves with
+:func:`fault_tolerant` and route hand-written sends through
+:func:`reliable_send`; lint rule R5 (:mod:`repro.lint`) flags direct
+``ctx.send`` calls inside marked programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Callable
+
+from .messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.plan import FaultPlan
+    from .machine import Machine, PEContext
+
+__all__ = [
+    "ReliableConfig",
+    "ReliableTransport",
+    "LossyTransport",
+    "TransportError",
+    "fault_tolerant",
+    "reliable_send",
+]
+
+#: Words charged for one (cumulative) acknowledgement message.
+ACK_WORDS = 1
+
+
+class TransportError(RuntimeError):
+    """The reliable transport gave up on a message (retry budget spent)."""
+
+
+@dataclass(frozen=True)
+class ReliableConfig:
+    """Tunables of the modelled reliable protocol.
+
+    Attributes
+    ----------
+    timeout_factor:
+        First retransmission timeout as a multiple of the message's
+        own wire time ``alpha + beta * words``.
+    backoff:
+        Multiplier applied to the timeout after every retransmission
+        (exponential backoff).
+    ack_every:
+        Cumulative-ack cadence: one ack message (both endpoints pay
+        ``alpha + beta * ACK_WORDS``) per ``ack_every`` deliveries on
+        a channel.  This is what keeps the zero-fault overhead of the
+        reliable path small.
+    max_attempts:
+        Transmission attempts per message before the transport raises
+        :class:`TransportError` (a safety net; unreachable under sane
+        drop rates).
+    """
+
+    timeout_factor: float = 4.0
+    backoff: float = 2.0
+    ack_every: int = 8
+    max_attempts: int = 64
+
+    def __post_init__(self) -> None:
+        if self.timeout_factor <= 0 or self.backoff < 1.0:
+            raise ValueError("timeout_factor must be > 0 and backoff >= 1")
+        if self.ack_every < 1 or self.max_attempts < 1:
+            raise ValueError("ack_every and max_attempts must be >= 1")
+
+
+#: Default protocol constants.
+DEFAULT_RELIABLE_CONFIG = ReliableConfig()
+
+
+class ReliableTransport:
+    """Exactly-once, FIFO-per-channel delivery over a faulty wire."""
+
+    #: Programs may assume fault-free message semantics on this transport.
+    is_reliable = True
+
+    def __init__(
+        self,
+        machine: "Machine",
+        plan: "FaultPlan | None" = None,
+        config: ReliableConfig | None = None,
+    ):
+        self.machine = machine
+        self.plan = plan
+        self.config = config or DEFAULT_RELIABLE_CONFIG
+        self._next_seq: dict[tuple[int, int], int] = {}
+        self._expected: dict[tuple[int, int], int] = {}
+        self._acked: dict[tuple[int, int], int] = {}
+        #: Wire-level totals (for diagnostics; app-level conservation
+        #: is unaffected because this transport repairs every fault).
+        self.wire_dropped = 0
+        self.wire_duplicates = 0
+
+    @property
+    def app_delivery_delta(self) -> int:
+        """Program-visible (delivered - sent) imbalance: always zero."""
+        return 0
+
+    # ------------------------------------------------------------------
+    def transmit(self, msg: Message) -> None:
+        """Carry one application send across the faulty wire.
+
+        All fault decisions for the message are resolved here, at send
+        time (the machine's scheduling is deterministic, so this is
+        equivalent to resolving them lazily): the number of dropped
+        attempts determines the retransmission costs charged to the
+        sender and the backoff delay added to the delivery timestamp.
+        """
+        machine = self.machine
+        spec = machine.spec
+        plan = self.plan
+        sender = machine._contexts[msg.src]
+        tracer = machine.tracer
+        chan = (msg.src, msg.dest)
+        seq = self._next_seq.get(chan, 0)
+        self._next_seq[chan] = seq + 1
+
+        t = msg.send_time
+        if plan is not None:
+            wire_time = spec.message_time(msg.words)
+            timeout = self.config.timeout_factor * wire_time
+            attempts = 1
+            while plan.should_drop():
+                self.wire_dropped += 1
+                sender.metrics.messages_dropped += 1
+                if tracer is not None:
+                    tracer.drop(t, msg.src, msg.dest, msg.tag, msg.words)
+                if attempts >= self.config.max_attempts:
+                    raise TransportError(
+                        f"message {msg.src}->{msg.dest} tag={msg.tag!r} lost "
+                        f"{attempts} times; retry budget exhausted"
+                    )
+                # Wait out the timeout, then pay for the retransmission.
+                t += timeout
+                timeout *= self.config.backoff
+                sender.metrics.timeouts += 1
+                sender.metrics.retransmits += 1
+                sender.metrics.clock += sender._slowdown * wire_time
+                if tracer is not None:
+                    tracer.retry(t, msg.src, msg.dest, msg.tag, msg.words)
+                attempts += 1
+            t += plan.delay_seconds(spec.alpha)
+
+        delivered = replace(msg, send_time=t, channel_seq=seq)
+        self._arrive(delivered)
+        if plan is not None and plan.should_duplicate():
+            # The wire delivers a stale copy one message-time later.
+            self.wire_duplicates += 1
+            self._arrive(
+                replace(delivered, send_time=t + spec.message_time(msg.words))
+            )
+
+    def _arrive(self, msg: Message) -> None:
+        """Receive-side protocol: dedup, deliver, ack bookkeeping."""
+        machine = self.machine
+        chan = (msg.src, msg.dest)
+        receiver = machine._contexts[msg.dest]
+        expected = self._expected.get(chan, 0)
+        if msg.channel_seq is not None and msg.channel_seq < expected:
+            # Duplicate: the receiver pays for pulling it off the wire,
+            # then discards it before it reaches the program's inbox.
+            receiver.metrics.duplicates_discarded += 1
+            receiver.metrics.clock += receiver._slowdown * machine.spec.message_time(
+                msg.words
+            )
+            machine._note_progress()
+            return
+        self._expected[chan] = (msg.channel_seq or 0) + 1
+        machine._deliver(msg)
+        acked = self._acked.get(chan, 0) + 1
+        self._acked[chan] = acked
+        if acked % self.config.ack_every == 0:
+            # Cumulative ack: one control message, both endpoints pay.
+            ack_time = machine.spec.message_time(ACK_WORDS)
+            receiver.metrics.clock += receiver._slowdown * ack_time
+            sender = machine._contexts[msg.src]
+            sender.metrics.clock += sender._slowdown * ack_time
+
+
+class LossyTransport:
+    """The raw faulty wire: what the plan says happens, happens."""
+
+    is_reliable = False
+
+    def __init__(self, machine: "Machine", plan: "FaultPlan"):
+        self.machine = machine
+        self.plan = plan
+        self.wire_dropped = 0
+        self.wire_duplicates = 0
+
+    @property
+    def app_delivery_delta(self) -> int:
+        """Program-visible (delivered - sent) imbalance caused by faults."""
+        return self.wire_duplicates - self.wire_dropped
+
+    def transmit(self, msg: Message) -> None:
+        """Deliver, drop, duplicate, delay, or reorder one message."""
+        machine = self.machine
+        plan = self.plan
+        if plan.should_drop():
+            self.wire_dropped += 1
+            machine._contexts[msg.src].metrics.messages_dropped += 1
+            if machine.tracer is not None:
+                machine.tracer.drop(
+                    msg.send_time, msg.src, msg.dest, msg.tag, msg.words
+                )
+            machine._note_progress()
+            return
+        delay = plan.delay_seconds(machine.spec.alpha)
+        out = replace(msg, send_time=msg.send_time + delay) if delay else msg
+        self._deliver(out, jump_queue=plan.should_reorder())
+        if plan.should_duplicate():
+            self.wire_duplicates += 1
+            dup = replace(
+                out, send_time=out.send_time + machine.spec.message_time(msg.words)
+            )
+            self._deliver(dup, jump_queue=False)
+
+    def _deliver(self, msg: Message, *, jump_queue: bool) -> None:
+        machine = self.machine
+        queue = machine._contexts[msg.dest]._inbox[msg.tag]
+        if jump_queue and queue:
+            # Reorder: the message overtakes everything queued for its
+            # tag class (the program sees it first).
+            queue.appendleft(msg)
+            machine._note_progress()
+        else:
+            machine._deliver(msg)
+
+
+# ----------------------------------------------------------------------
+# Program-level API
+# ----------------------------------------------------------------------
+def fault_tolerant(program: Callable) -> Callable:
+    """Mark an SPMD program (factory) as fault-tolerant.
+
+    A marked program promises that it survives the fault model of
+    ``docs/FAULTS.md``: it checkpoints at phase boundaries (via
+    ``ctx.checkpoint`` / ``ctx.restore``) and routes every
+    hand-written point-to-point send through :func:`reliable_send` so
+    the transport can sequence and retransmit it.  Lint rule R5
+    enforces the latter statically.
+    """
+    program.__fault_tolerant__ = True
+    return program
+
+
+def is_fault_tolerant(program: Callable) -> bool:
+    """Whether ``program`` carries the :func:`fault_tolerant` marker."""
+    return bool(getattr(program, "__fault_tolerant__", False))
+
+
+def reliable_send(
+    ctx: "PEContext", dest: int, tag: Any, payload: Any, words: int
+) -> None:
+    """Send requiring reliable transport (fault-tolerant programs).
+
+    On a machine without injected faults this is exactly ``ctx.send``.
+    On a machine with a fault plan but *without* the reliable
+    transport, it raises :class:`~repro.net.machine.ProtocolError`
+    instead of silently exposing the program to message loss — the
+    runtime counterpart of lint rule R5.
+    """
+    machine = ctx._machine
+    network = getattr(machine, "_network", None)
+    plan = getattr(machine, "fault_plan", None)
+    if (
+        plan is not None
+        and plan.any_message_faults
+        and not getattr(network, "is_reliable", False)
+    ):
+        from .machine import ProtocolError
+
+        raise ProtocolError(
+            "reliable_send on a machine that injects message faults over "
+            "the lossy transport; construct the Machine with "
+            "transport='reliable' to run fault-tolerant programs"
+        )
+    ctx.send(dest, tag, payload, words)

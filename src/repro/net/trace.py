@@ -1,8 +1,8 @@
 """Optional event tracing for simulated runs.
 
 Attach a :class:`Tracer` to a :class:`~repro.net.machine.Machine` and
-every send, receive, and phase transition is recorded with its
-simulated timestamp — the raw material for debugging protocols
+every send, receive, phase transition, injected drop, and
+retransmission is recorded with its simulated timestamp — the raw material for debugging protocols
 (who sent what to whom, and when) and for the timeline rendering of
 :func:`render_timeline`.
 
@@ -22,10 +22,20 @@ __all__ = ["TraceEvent", "Tracer", "render_timeline"]
 class TraceEvent:
     """One recorded event.
 
-    ``kind`` is ``"send"``, ``"recv"`` or ``"phase"``.  For message
-    events ``peer`` is the other endpoint; for phase events ``tag``
-    holds the phase name and ``words`` the phase duration in seconds
-    scaled by 1e9 (integer nanoseconds) to keep the field integral.
+    ``kind`` is one of:
+
+    * ``"send"`` — a message injection;
+    * ``"recv"`` — a message consumption;
+    * ``"phase"`` — a completed phase block;
+    * ``"drop"`` — a wire transmission lost to an injected fault
+      (:mod:`repro.faults`);
+    * ``"retry"`` — a reliable-transport retransmission after a
+      timeout (:mod:`repro.net.reliable`).
+
+    For message events (``send``/``recv``/``drop``/``retry``) ``peer``
+    is the other endpoint; for phase events ``tag`` holds the phase
+    name and ``words`` the phase duration in seconds scaled by 1e9
+    (integer nanoseconds) to keep the field integral.
     """
 
     kind: str
@@ -55,6 +65,14 @@ class Tracer:
         self.events.append(
             TraceEvent("phase", start, rank, rank, name, int((end - start) * 1e9))
         )
+
+    def drop(self, time: float, src: int, dest: int, tag, words: int) -> None:
+        """Record a wire transmission lost to an injected fault."""
+        self.events.append(TraceEvent("drop", time, src, dest, tag, words))
+
+    def retry(self, time: float, src: int, dest: int, tag, words: int) -> None:
+        """Record a reliable-transport retransmission after a timeout."""
+        self.events.append(TraceEvent("retry", time, src, dest, tag, words))
 
     # ------------------------------------------------------------ query
     def messages_between(self, src: int, dest: int) -> list[TraceEvent]:
@@ -88,6 +106,14 @@ def render_timeline(tracer: Tracer, *, max_events: int = 40) -> str:
             lines.append(f"{t:12.3f}  PE{e.rank} -> PE{e.peer}  {e.words}w  tag={e.tag!r}")
         elif e.kind == "recv":
             lines.append(f"{t:12.3f}  PE{e.rank} <- PE{e.peer}  {e.words}w  tag={e.tag!r}")
+        elif e.kind == "drop":
+            lines.append(
+                f"{t:12.3f}  PE{e.rank} -x PE{e.peer}  {e.words}w  tag={e.tag!r}  DROPPED"
+            )
+        elif e.kind == "retry":
+            lines.append(
+                f"{t:12.3f}  PE{e.rank} ~> PE{e.peer}  {e.words}w  tag={e.tag!r}  RETRY"
+            )
         else:
             lines.append(
                 f"{t:12.3f}  PE{e.rank} phase {e.tag!r} ({e.words / 1e3:.3f} us)"

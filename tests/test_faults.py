@@ -1,0 +1,374 @@
+"""The fault-injection subsystem: plans, transports, recovery, chaos.
+
+Covers the ISSUE-2 acceptance criteria: the chaos campaign (seeds x
+drop rates x one scheduled PE crash) returns exact sequential counts
+for DITRIC and CETRIC, fault injection is deterministic (identical
+plans replay identical runs, metrics, and traces), the reliable
+transport's zero-fault overhead stays within budget, and crash
+recovery re-runs only the lost phase.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.checkpoint import CheckpointStore, run_with_recovery, state_words
+from repro.core.ditric import DITRIC_CONFIG
+from repro.core.edge_iterator import edge_iterator
+from repro.core.engine import counting_program
+from repro.faults import (
+    CrashEvent,
+    FaultPlan,
+    ReliableConfig,
+    TransportError,
+    format_campaign,
+    run_campaign,
+    run_chaos_case,
+)
+from repro.faults.chaos import default_chaos_graph
+from repro.graphs.distributed import distribute
+from repro.net import (
+    Machine,
+    PECrashError,
+    ProtocolError,
+    Tracer,
+    barrier,
+    reliable_send,
+    render_timeline,
+)
+from repro.net.reliable import fault_tolerant
+
+
+# ----------------------------------------------------------------------
+# FaultPlan
+# ----------------------------------------------------------------------
+def test_plan_validates_rates_and_factors():
+    with pytest.raises(ValueError):
+        FaultPlan(drop_rate=1.0)
+    with pytest.raises(ValueError):
+        FaultPlan(duplicate_rate=-0.1)
+    with pytest.raises(ValueError):
+        FaultPlan(stragglers={0: 0.5})
+    with pytest.raises(ValueError):
+        CrashEvent(rank=-1, at_event=0)
+    with pytest.raises(ValueError):
+        CrashEvent(rank=0, at_event=-1)
+
+
+def test_plan_roundtrips_through_dict():
+    plan = FaultPlan(
+        4,
+        drop_rate=0.1,
+        duplicate_rate=0.2,
+        delay_rate=0.05,
+        reorder_rate=0.01,
+        crashes=(CrashEvent(1, 100),),
+        stragglers={2: 3.0},
+    )
+    clone = FaultPlan.from_dict(plan.to_dict())
+    assert clone.to_dict() == plan.to_dict()
+
+
+def test_plan_decisions_replay_after_reset():
+    plan = FaultPlan(7, drop_rate=0.5, duplicate_rate=0.3)
+    first = [(plan.should_drop(), plan.should_duplicate()) for _ in range(64)]
+    plan.reset()
+    again = [(plan.should_drop(), plan.should_duplicate()) for _ in range(64)]
+    assert first == again
+    assert any(d for d, _ in first) and any(not d for d, _ in first)
+
+
+def test_plan_zero_rates_never_draw():
+    """Disabled fault classes must not perturb the decision stream."""
+    a = FaultPlan(1, drop_rate=0.5)
+    drops_a = [a.should_drop() for _ in range(32)]
+    b = FaultPlan(1, drop_rate=0.5, duplicate_rate=0.0, reorder_rate=0.0)
+    # should_duplicate()/should_reorder() at rate 0 consume no randomness.
+    drops_b = []
+    for _ in range(32):
+        assert not b.should_duplicate()
+        assert not b.should_reorder()
+        drops_b.append(b.should_drop())
+    assert drops_a == drops_b
+
+
+def test_crash_events_fire_at_most_once():
+    plan = FaultPlan(crashes=(CrashEvent(1, 10),))
+    assert not plan.crash_due(1, 9)
+    assert not plan.crash_due(0, 50)
+    assert plan.crash_due(1, 10)
+    assert not plan.crash_due(1, 11), "a crash-stop fires once per plan"
+    plan.reset()
+    assert plan.crash_due(1, 99), "reset re-arms the schedule"
+
+
+def test_straggler_lookup():
+    plan = FaultPlan(stragglers={2: 4.0})
+    assert plan.slowdown(2) == 4.0
+    assert plan.slowdown(0) == 1.0
+
+
+# ----------------------------------------------------------------------
+# Machine integration: crashes, stragglers, transports
+# ----------------------------------------------------------------------
+def _chatty(ctx):
+    for _ in range(4):
+        ctx.send((ctx.rank + 1) % ctx.num_pes, "t", None, 2)
+        yield from barrier(ctx)
+        while ctx.try_recv("t") is not None:
+            pass
+    return ctx.clock
+
+
+def test_scheduled_crash_raises_pecrasherror():
+    plan = FaultPlan(crashes=(CrashEvent(rank=1, at_event=5),))
+    machine = Machine(3, fault_plan=plan, transport="direct")
+    with pytest.raises(PECrashError) as err:
+        machine.run(_chatty)
+    assert err.value.rank == 1
+    assert err.value.event >= 5
+
+
+def test_straggler_slows_exactly_its_pe():
+    clean = Machine(3).run(_chatty)
+    slow = Machine(
+        3, fault_plan=FaultPlan(stragglers={1: 10.0}), transport="direct"
+    ).run(_chatty)
+    assert slow.metrics.per_pe[1].clock > clean.metrics.per_pe[1].clock * 5
+    assert slow.metrics.makespan > clean.metrics.makespan
+
+
+def test_machine_rejects_bad_transport_combinations():
+    with pytest.raises(ValueError):
+        Machine(2, transport="carrier-pigeon")
+    with pytest.raises(ValueError):
+        Machine(2, transport="lossy")  # lossy needs a plan
+    with pytest.raises(ValueError):
+        Machine(2, fault_plan=FaultPlan(drop_rate=0.5), transport="direct")
+
+
+def test_reliable_transport_gives_up_after_max_attempts():
+    plan = FaultPlan(seed=0, drop_rate=0.9)
+    machine = Machine(
+        2,
+        fault_plan=plan,
+        transport="reliable",
+        reliable_config=ReliableConfig(max_attempts=1),
+        protocol_check=False,
+    )
+
+    def prog(ctx):
+        if ctx.rank == 0:
+            for _ in range(50):
+                ctx.send(1, "t", None, 1)
+        yield
+
+    with pytest.raises(TransportError):
+        machine.run(prog)
+
+
+def test_reliable_config_validation():
+    with pytest.raises(ValueError):
+        ReliableConfig(timeout_factor=0.0)
+    with pytest.raises(ValueError):
+        ReliableConfig(backoff=0.5)
+    with pytest.raises(ValueError):
+        ReliableConfig(ack_every=0)
+
+
+def test_reliable_send_guards_against_lossy_transport():
+    plan = FaultPlan(seed=1, duplicate_rate=0.5)
+
+    @fault_tolerant
+    def prog(ctx):
+        if ctx.rank == 0:
+            reliable_send(ctx, 1, "t", "x", 1)
+        yield from barrier(ctx)
+        while ctx.try_recv("t") is not None:
+            pass
+        return True
+
+    # Over the reliable transport (and fault-free direct), it is a send.
+    assert Machine(2, fault_plan=plan).run(prog).values == [True, True]
+    assert Machine(2).run(prog).values == [True, True]
+    # Over the lossy transport it refuses to expose the program.
+    with pytest.raises(ProtocolError):
+        Machine(2, fault_plan=plan, transport="lossy").run(prog)
+
+
+def test_drop_and_retry_events_render_distinctly():
+    tracer = Tracer()
+    plan = FaultPlan(seed=9, drop_rate=0.4)
+    machine = Machine(2, fault_plan=plan, transport="reliable", tracer=tracer)
+
+    def prog(ctx):
+        if ctx.rank == 0:
+            for _ in range(12):
+                ctx.send(1, "t", None, 1)
+        yield from barrier(ctx)
+        while ctx.try_recv("t") is not None:
+            pass
+        return None
+
+    machine.run(prog)
+    kinds = {e.kind for e in tracer.events}
+    assert {"drop", "retry"} <= kinds
+    text = render_timeline(tracer, max_events=10_000)
+    assert "DROPPED" in text and "-x" in text
+    assert "RETRY" in text and "~>" in text
+
+
+# ----------------------------------------------------------------------
+# Checkpoint store + recovery driver
+# ----------------------------------------------------------------------
+def test_state_words_estimates():
+    import numpy as np
+
+    assert state_words(np.zeros(10)) == 10
+    assert state_words({"a": np.zeros(4), "b": 1}) == (1 + 4) + (1 + 1)
+    assert state_words([1, 2, 3]) == 3
+    assert state_words(None) == 1
+
+
+def test_store_save_load_cursor_semantics():
+    store = CheckpointStore(2)
+    store.begin_run()
+    store.save(0, "local", {"x": 1})
+    store.save(0, "contraction", {"y": 2})
+    store.begin_run()
+    state, words = store.load(0, "local")
+    assert state == {"x": 1} and words >= 1
+    assert store.load(0, "nope") is None, "name mismatch means recompute"
+    # Saving after a miss truncates the abandoned tail.
+    store.save(0, "other", {"z": 3})
+    assert store.names(0) == ["local", "other"]
+
+
+def test_store_snapshots_are_isolated_copies():
+    import numpy as np
+
+    store = CheckpointStore(1)
+    arr = np.arange(4)
+    store.save(0, "phase", {"arr": arr})
+    arr[:] = -1
+    store.begin_run()
+    state, _ = store.load(0, "phase")
+    assert list(state["arr"]) == [0, 1, 2, 3]
+    state["arr"][:] = 7  # mutating the restored copy is also safe
+    store.begin_run()
+    fresh, _ = store.load(0, "phase")
+    assert list(fresh["arr"]) == [0, 1, 2, 3]
+
+
+def test_prune_to_stable_keeps_common_prefix_only():
+    store = CheckpointStore(3)
+    for rank in range(3):
+        store.save(rank, "local", {"r": rank})
+    store.save(0, "contraction", {"r": 0})  # ranks 1, 2 crashed before it
+    assert store.prune_to_stable() == 1
+    assert all(store.names(r) == ["local"] for r in range(3))
+
+
+def test_recovery_reruns_only_the_lost_phase():
+    graph = default_chaos_graph()
+    dist = distribute(graph, num_pes=4)
+    expected = edge_iterator(graph).triangles
+
+    dry = Machine(4).run(counting_program, dist, DITRIC_CONFIG)
+    # Crash late: well inside the global phase, after checkpoints.
+    plan = FaultPlan(crashes=(CrashEvent(rank=2, at_event=int(dry.events * 0.9)),))
+    machine = Machine(
+        4, fault_plan=plan, transport="reliable", checkpoint_store=CheckpointStore(4)
+    )
+    recovery = run_with_recovery(machine, counting_program, dist, DITRIC_CONFIG)
+    assert recovery.restarts == 1
+    assert [r for r, _ in recovery.crashes] == [2]
+    assert recovery.values[0].triangles_total == expected
+    # The surviving attempt restored the local checkpoint: it spent no
+    # time in preprocessing/local, only in the re-run global phase.
+    phases = recovery.result.metrics.phase_breakdown()
+    assert "global" in phases
+    assert "preprocessing" not in phases and "local" not in phases
+
+
+def test_recovery_without_store_still_finishes():
+    graph = default_chaos_graph()
+    dist = distribute(graph, num_pes=2)
+    expected = edge_iterator(graph).triangles
+    dry = Machine(2).run(counting_program, dist, DITRIC_CONFIG)
+    plan = FaultPlan(crashes=(CrashEvent(rank=0, at_event=dry.events // 2),))
+    machine = Machine(2, fault_plan=plan, transport="reliable")
+    recovery = run_with_recovery(machine, counting_program, dist, DITRIC_CONFIG)
+    assert recovery.restarts == 1
+    assert recovery.values[0].triangles_total == expected
+
+
+def test_recovery_gives_up_past_max_restarts():
+    plan = FaultPlan(crashes=tuple(CrashEvent(rank=0, at_event=0) for _ in range(3)))
+    machine = Machine(2, fault_plan=plan, transport="direct")
+
+    def prog(ctx):
+        yield
+        return 1
+
+    with pytest.raises(PECrashError):
+        run_with_recovery(machine, prog, max_restarts=1)
+
+
+# ----------------------------------------------------------------------
+# Acceptance: the chaos campaign + determinism + overhead
+# ----------------------------------------------------------------------
+def test_chaos_campaign_counts_are_exact():
+    """10 seeds x drop rates {0, 0.01, 0.05} x 1 PE crash, both algorithms."""
+    outcomes = run_campaign(
+        algorithms=("ditric", "cetric"),
+        seeds=range(10),
+        drop_rates=(0.0, 0.01, 0.05),
+        crash_fraction=0.5,
+    )
+    assert len(outcomes) == 2 * 3 * 10
+    report = format_campaign(outcomes)
+    assert all(o.exact for o in outcomes), report
+    assert all(o.restarts == 1 for o in outcomes), "every case crashed once"
+    assert "OK: 60/60" in report
+    # Nonzero drop rates actually exercised the reliable transport.
+    faulted = [o for o in outcomes if o.drop_rate > 0]
+    assert sum(o.retransmits for o in faulted) > 0
+
+
+def test_chaos_case_is_deterministic():
+    """Identical (program, inputs, spec, plan seed) => identical runs."""
+    graph = default_chaos_graph()
+    a = run_chaos_case(graph, "cetric", 4, seed=6, drop_rate=0.05, crash_fraction=0.5)
+    b = run_chaos_case(graph, "cetric", 4, seed=6, drop_rate=0.05, crash_fraction=0.5)
+    assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+
+def test_faulty_run_repeats_bit_identically_with_trace():
+    graph = default_chaos_graph()
+    dist = distribute(graph, num_pes=3)
+
+    def one_run():
+        tracer = Tracer()
+        plan = FaultPlan(13, drop_rate=0.05, duplicate_rate=0.03)
+        machine = Machine(3, fault_plan=plan, transport="reliable", tracer=tracer)
+        result = machine.run(counting_program, dist, DITRIC_CONFIG)
+        return result, tracer
+
+    r1, t1 = one_run()
+    r2, t2 = one_run()
+    assert r1.values[0].triangles_total == r2.values[0].triangles_total
+    assert r1.metrics.summary() == r2.metrics.summary()
+    assert t1.events == t2.events
+    assert r1.events == r2.events
+
+
+def test_zero_fault_reliable_overhead_within_budget():
+    """Reliable transport with no faults costs <= 10% simulated time."""
+    graph = default_chaos_graph()
+    dist = distribute(graph, num_pes=4)
+    for config in (DITRIC_CONFIG,):
+        direct = Machine(4).run(counting_program, dist, config)
+        reliable = Machine(4, transport="reliable").run(counting_program, dist, config)
+        assert reliable.values[0].triangles_total == direct.values[0].triangles_total
+        assert reliable.time <= 1.10 * direct.time

@@ -38,6 +38,12 @@ def prog(ctx):
     ctx.send(1, "t", None)
     yield
 """,
+    "R5": """
+@fault_tolerant
+def prog(ctx):
+    ctx.send(1, "t", None, 4)
+    yield
+""",
 }
 
 GOOD = {
@@ -61,6 +67,12 @@ def prog(ctx):
     "R4": """
 def prog(ctx):
     ctx.send(1, "t", None, 7)
+    yield
+""",
+    "R5": """
+@fault_tolerant
+def prog(ctx):
+    reliable_send(ctx, 1, "t", None, 4)
     yield
 """,
 }
@@ -169,7 +181,35 @@ def test_finding_format_is_compiler_style():
 
 
 def test_rule_catalogue_is_complete():
-    assert set(RULES) == {"R0", "R1", "R2", "R3", "R4"}
+    assert set(RULES) == {"R0", "R1", "R2", "R3", "R4", "R5"}
+
+
+def test_r5_only_applies_to_marked_programs():
+    # The same direct send is legal in an unmarked program.
+    src = """
+def prog(ctx):
+    ctx.send(1, "t", None, 4)
+    yield
+"""
+    assert lint_source(src) == []
+    # The marker is recognized as a dotted attribute too.
+    dotted = """
+@reliable.fault_tolerant
+def prog(ctx):
+    ctx.send(1, "t", None, 4)
+    yield
+"""
+    assert [f.code for f in lint_source(dotted)] == ["R5"]
+
+
+def test_r5_noqa_escape():
+    src = """
+@fault_tolerant
+def prog(ctx):
+    ctx.send(1, "t", None, 4)  # noqa: R5
+    yield
+"""
+    assert lint_source(src) == []
 
 
 def test_repo_src_tree_lints_clean():
