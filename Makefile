@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench chaos examples report clean
+.PHONY: install test lint bench bench-smoke chaos examples report clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -16,7 +16,7 @@ chaos:
 	PYTHONPATH=src $(PYTHON) -m repro chaos --seeds 3 --drop-rates 0,0.05 \
 		--algorithms ditric,cetric
 
-# ruff (style) + repro.lint (SPMD protocol rules R1-R5, see
+# ruff (style) + repro.lint (SPMD protocol rules R1-R6, see
 # docs/SPMD_CONTRACT.md).  ruff is optional locally; CI installs it.
 lint:
 	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \
@@ -28,6 +28,16 @@ lint:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Deterministic smoke suite -> BENCH_<date>.json, diffed against the
+# committed baseline; fails on a >15% simulated-cost regression
+# (docs/BENCHMARKS.md).  Regenerate the baseline after an intentional
+# cost change with:
+#   PYTHONPATH=src REPRO_BENCH_DATE=baseline $(PYTHON) -m repro bench \
+#       --suite smoke --out benchmarks/baseline
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro bench --suite smoke --out . \
+		--baseline benchmarks/baseline/BENCH_baseline.json
 
 examples:
 	@for ex in examples/*.py; do \

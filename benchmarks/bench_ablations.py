@@ -19,6 +19,7 @@ visible (DESIGN.md's ablation index):
   "does not pay off".
 """
 
+import harness
 from conftest import run_once, save_artifact
 
 from repro.analysis.runner import run_algorithm
@@ -60,6 +61,15 @@ def test_ablation_threshold(benchmark, results_dir):
         title="Ablation: aggregation threshold delta (DITRIC, RHG, p=16)",
     )
     save_artifact(results_dir, "ablation_threshold.txt", text)
+    for r in rows:
+        harness.emit(
+            "ablation_threshold",
+            simulated_time=r["time"],
+            max_messages=r["max messages"],
+            peak_words=r["peak buffer words"],
+            triangles=r["triangles"],
+            factor=r["threshold factor"],
+        )
     assert len({r["triangles"] for r in rows}) == 1
     # Bigger delta => fewer messages but more buffered memory.
     msgs = [r["max messages"] for r in rows]
@@ -94,6 +104,14 @@ def test_ablation_surrogate(benchmark, results_dir):
         title="Ablation: Arifuzzaman surrogate send-dedup (DITRIC, RHG, p=16)",
     )
     save_artifact(results_dir, "ablation_surrogate.txt", text)
+    for r in rows:
+        harness.emit(
+            "ablation_surrogate",
+            simulated_time=r["time"],
+            total_volume=r["total volume"],
+            triangles=r["triangles"],
+            surrogate=r["surrogate"],
+        )
     with_s, without_s = rows
     assert with_s["triangles"] == without_s["triangles"]
     assert with_s["total volume"] < without_s["total volume"]
@@ -129,6 +147,14 @@ def test_ablation_degree_exchange(benchmark, results_dir):
         title="Ablation: dense vs sparse ghost-degree exchange (DITRIC, p=16)",
     )
     save_artifact(results_dir, "ablation_degree_exchange.txt", text)
+    for r in rows:
+        harness.emit(
+            "ablation_degree_exchange",
+            simulated_time=r["preprocessing time"],
+            triangles=r["triangles"],
+            input=r["input"],
+            mode=r["mode"],
+        )
     # On the low-partner-count input the sparse exchange sends fewer
     # messages (the Hoefler–Traff motivation).
     rgg = [r for r in rows if r["input"].startswith("rgg2d")]
@@ -182,6 +208,14 @@ def test_ablation_rebalancing(benchmark, results_dir):
     )
     save_artifact(results_dir, "ablation_rebalancing.txt", text)
     for r in rows:
+        for variant in ("before", "after"):
+            harness.emit(
+                "ablation_rebalancing",
+                simulated_time=r[f"time {variant}"],
+                input=r["input"],
+                variant=variant,
+            )
+    for r in rows:
         assert r["est. imbalance after"] <= r["est. imbalance before"] + 1e-9
         gain = r["time before"] - r["time after"]
         assert gain < 0.15 * r["time before"]  # marginal at best
@@ -215,6 +249,15 @@ def test_ablation_indirection_crossover(benchmark, results_dir):
         title="Ablation: grid indirection vs direct delivery across p (DITRIC, RHG weak scaling)",
     )
     save_artifact(results_dir, "ablation_indirection.txt", text)
+    for r in rows:
+        for variant in ("direct", "indirect"):
+            harness.emit(
+                "ablation_indirection",
+                total_volume=r[f"{variant} volume"],
+                max_messages=r[f"{variant} max msgs"],
+                p=r["p"],
+                variant=variant,
+            )
     # Indirection at most doubles volume (plus routing headers) ...
     for r in rows:
         assert r["indirect volume"] < 2.5 * r["direct volume"]

@@ -18,6 +18,7 @@ Asserted shapes:
   reduction factors (they only approximate the *global* count).
 """
 
+import harness
 from conftest import run_once, save_artifact
 
 from repro.analysis.tables import format_table
@@ -88,6 +89,12 @@ def test_amq_approximation_tradeoff(benchmark, results_dir):
         f"(friendster stand-in, p={P})",
     )
     save_artifact(results_dir, "approx_amq.txt", text)
+    for r in rows:
+        harness.emit(
+            "approx_amq",
+            bottleneck_volume=r["bottleneck volume"],
+            method=r["method"],
+        )
 
     amq_rows = [r for r in rows if r["method"].startswith(("bloom", "ssbf"))]
     # Truthful estimator: within 5 % at every tested budget.

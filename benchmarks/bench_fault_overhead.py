@@ -15,6 +15,7 @@ Asserted:
 * under a 5% drop rate the count is still exact and retransmits > 0.
 """
 
+import harness
 from conftest import run_once, save_artifact
 
 from repro.analysis.tables import format_table
@@ -76,6 +77,16 @@ def test_fault_tolerance_overhead(benchmark, results_dir):
         ],
     )
     save_artifact(results_dir, "fault_overhead.txt", text)
+    for row in rows:
+        for variant in ("direct", "reliable", "faulty"):
+            harness.emit(
+                "fault_overhead",
+                simulated_time=row[f"{variant} time"],
+                triangles=row[f"{variant} count"],
+                algorithm=row["algorithm"],
+                p=row["p"],
+                transport=variant,
+            )
     for row in rows:
         cell = f"{row['algorithm']} p={row['p']}"
         assert row["reliable count"] == row["direct count"], cell

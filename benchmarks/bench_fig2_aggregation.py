@@ -13,6 +13,7 @@ non-aggregated variant scales sublinearly because the per-message
 startup cost does not shrink with p.
 """
 
+import harness
 from conftest import run_once, save_artifact
 
 from repro.analysis.runner import run_algorithm
@@ -62,6 +63,22 @@ def test_fig2_aggregation_on_friendster(benchmark, results_dir):
         "with vs without message aggregation (modelled seconds)",
     )
     save_artifact(results_dir, "fig2_aggregation.txt", text)
+    for r in rows:
+        harness.emit(
+            "fig2_aggregation",
+            simulated_time=r["aggregated time"],
+            max_messages=r["aggregated max msgs"],
+            total_volume=r["volume"],
+            p=r["p"],
+            variant="aggregated",
+        )
+        harness.emit(
+            "fig2_aggregation",
+            simulated_time=r["no-aggregation time"],
+            max_messages=r["no-aggregation max msgs"],
+            p=r["p"],
+            variant="no-aggregation",
+        )
 
     # Aggregation dominates at every p by a large factor, and message
     # counts differ by an order of magnitude (the Fig. 2 gap).

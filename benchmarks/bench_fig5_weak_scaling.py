@@ -23,6 +23,7 @@ Asserted shapes (paper Section V-D):
   per-PE budget binds).
 """
 
+import harness
 from conftest import run_once, save_artifact
 
 from repro.analysis.sweep import weak_scaling
@@ -57,6 +58,7 @@ def _tables(results_dir, name, rows):
             rows, metric, title=f"Fig. 5 ({name}, weak scaling): {label}"
         )
         save_artifact(results_dir, f"fig5_{name}_{metric}.txt", text)
+    harness.emit_rows(f"fig5_weak:{name}", rows)
 
 
 def _at(rows, algo, p, metric="time"):

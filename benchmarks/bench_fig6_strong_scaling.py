@@ -19,6 +19,7 @@ Asserted shapes (Section V-E):
   batch) while our algorithms keep scaling.
 """
 
+import harness
 from conftest import run_once, save_artifact
 
 from repro.analysis.runner import run_algorithm
@@ -64,6 +65,7 @@ def _save(results_dir, name, rows):
         rows, "time", title=f"Fig. 6 ({name}, strong scaling): modelled time [s]"
     )
     save_artifact(results_dir, f"fig6_{name}_time.txt", text)
+    harness.emit_rows(f"fig6_strong:{name}", rows)
 
 
 def test_fig6_friendster(benchmark, results_dir):

@@ -24,6 +24,7 @@ Asserted shapes:
   shorter global phase.
 """
 
+import harness
 from conftest import run_once, save_artifact
 
 from repro.analysis.runner import run_algorithm
@@ -67,6 +68,10 @@ def test_fig7_phase_breakdown(benchmark, results_dir):
             )
     text = "\n\n".join(blocks)
     save_artifact(results_dir, "fig7_phase_breakdown.txt", text)
+    for name, per_spec in data.items():
+        for spec_name, (dit, cet) in per_spec.items():
+            harness.emit_run(f"fig7_phase:{name}", dit, spec=spec_name)
+            harness.emit_run(f"fig7_phase:{name}", cet, spec=spec_name)
 
     for name, per_spec in data.items():
         for spec_name, (dit, cet) in per_spec.items():

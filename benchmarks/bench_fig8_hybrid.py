@@ -14,6 +14,7 @@ Asserted shapes:
   hybrid variants are not faster overall than plain MPI.
 """
 
+import harness
 from conftest import run_once, save_artifact
 
 from repro.analysis.tables import format_table
@@ -58,6 +59,15 @@ def test_fig8_hybrid_parallelism(benchmark, results_dir):
         "(threads x ranks = cores)",
     )
     save_artifact(results_dir, "fig8_hybrid.txt", text)
+    for t, r in results.items():
+        harness.emit(
+            "fig8_hybrid",
+            simulated_time=r.total_time,
+            total_volume=r.total_volume,
+            triangles=r.triangles,
+            threads=t,
+            ranks=r.ranks,
+        )
 
     r1 = results[1]
     # All configurations count the same triangles.

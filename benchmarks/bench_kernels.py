@@ -7,6 +7,7 @@ counter.  They exist to catch performance regressions in the
 vectorized hot paths the HPC-Python guides call out.
 """
 
+import harness
 import numpy as np
 import pytest
 
@@ -34,6 +35,7 @@ def test_bench_batch_intersection(benchmark, intersection_batch):
     a_cat, a_x, b_cat, b_x, n = intersection_batch
     result = benchmark(batch_intersect_count, a_cat, a_x, b_cat, b_x, n)
     assert result.total > 0
+    harness.emit_wall("kernel:batch_intersect", benchmark)
 
 
 def test_bench_orientation(benchmark, medium_graph):
@@ -44,6 +46,7 @@ def test_bench_orientation(benchmark, medium_graph):
 def test_bench_sequential_count(benchmark, medium_graph):
     res = benchmark(edge_iterator, medium_graph)
     assert res.triangles == matrix_count(medium_graph)
+    harness.emit_wall("kernel:sequential_count", benchmark, triangles=res.triangles)
 
 
 def test_bench_gather_blocks(benchmark, medium_graph):

@@ -16,6 +16,7 @@ Asserted:
 * the LCC byproduct count equals the counting result.
 """
 
+import harness
 from conftest import run_once, save_artifact
 
 from repro.analysis.tables import format_table
@@ -63,6 +64,13 @@ def test_lcc_extension_overhead(benchmark, results_dir):
         "(live-journal stand-in, CETRIC)",
     )
     save_artifact(results_dir, "lcc_overhead.txt", text)
+    for r in rows:
+        harness.emit(
+            "lcc_overhead", simulated_time=r["lcc time"], p=r["p"], variant="lcc"
+        )
+        harness.emit(
+            "lcc_overhead", simulated_time=r["count time"], p=r["p"], variant="count"
+        )
     for r in rows:
         assert r["lcc/count"] < 6.0  # discovery dominates; credits add a few x
         assert r["delta share %"] < 35.0  # the exchange itself stays minor

@@ -14,6 +14,7 @@ sanity bounds.
 
 import time
 
+import harness
 from conftest import run_once, save_artifact
 
 from repro.analysis.tables import format_table
@@ -64,6 +65,15 @@ def test_backend_agreement(benchmark, results_dir):
         title=f"Backends: simulated vs process-parallel CETRIC (RHG n=8192, p={P})",
     )
     save_artifact(results_dir, "backend_comparison.txt", text)
+    for r in rows:
+        harness.emit(
+            "backend_comparison",
+            simulated_time=r["modelled time [s]"],
+            wall_time=r["wall time [s]"],
+            total_volume=r["total volume"],
+            triangles=r["triangles"],
+            backend=r["backend"],
+        )
     sim, par = outcomes["simulator"], outcomes["processes"]
     assert sim.values[0].triangles_total == par.values[0].triangles_total
     assert sim.metrics.total_volume == par.metrics.total_volume

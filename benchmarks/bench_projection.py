@@ -18,6 +18,7 @@ Asserted at the projected p = 2¹⁵ (the paper's largest machine):
   exchange) while DITRIC²'s grows distinctly slower.
 """
 
+import harness
 from conftest import run_once, save_artifact
 
 from repro.analysis.projection import fit_scaling_model, project_time
@@ -65,6 +66,12 @@ def test_projection_to_paper_scale(benchmark, results_dir):
         "laws fitted on p = 2...32)",
     )
     save_artifact(results_dir, "projection_paper_scale.txt", text)
+    harness.emit_rows("projection_measured", rows)
+    for algo in ALGOS:
+        for p, t in projections[algo]:
+            harness.emit(
+                "projection_paper_scale", simulated_time=t, algorithm=algo, p=p
+            )
 
     top = PROJECTED_PS[-1]
     t = {algo: dict(projections[algo])[top] for algo in ALGOS}

@@ -10,6 +10,7 @@ must hold and are asserted:
 * road networks have near-constant degrees.
 """
 
+import harness
 from conftest import run_once, save_artifact
 
 from repro.analysis.tables import format_table
@@ -61,6 +62,14 @@ def test_table1_dataset_statistics(benchmark, results_dir):
         title="Table I: real-world stand-ins (scaled) vs paper originals",
     )
     save_artifact(results_dir, "table1_datasets.txt", text)
+    for r in rows:
+        harness.emit(
+            "table1_datasets",
+            triangles=r["triangles"],
+            instance=r["instance"],
+            n=r["n"],
+            m=r["m"],
+        )
 
     by_name = {r["instance"]: r for r in rows}
     tri_per_edge = {k: r["triangles"] / max(r["m"], 1) for k, r in by_name.items()}

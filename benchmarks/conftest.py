@@ -11,6 +11,11 @@ Every benchmark regenerates one paper artifact (table or figure) and
 Heavy experiment bodies run exactly once via ``benchmark.pedantic``
 (``rounds=1``) — the interesting measurements are the *modelled* times
 inside the simulation, not Python wall time.
+
+Benchmarks additionally emit normalized :class:`repro.obs.BenchRecord`
+rows through ``harness.py``; ``pytest_sessionfinish`` below flushes
+them into ``results/BENCH_<date>.json`` for the regression pipeline
+(``docs/BENCHMARKS.md``).
 """
 
 from __future__ import annotations
@@ -39,3 +44,12 @@ def save_artifact(results_dir: Path, name: str, text: str) -> None:
 def run_once(benchmark, func):
     """Run an experiment body exactly once under pytest-benchmark."""
     return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Flush records emitted via ``harness`` into BENCH_<date>.json."""
+    import harness
+
+    out = harness.flush(RESULTS_DIR)
+    if out is not None:
+        print(f"\nbench records written to {out}")

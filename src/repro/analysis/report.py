@@ -116,6 +116,21 @@ def generate_report(
         )
     )
 
+    # 3b. Full critical-path decomposition from the span recorder: the
+    # compute buckets above plus communication/wait time, summing to
+    # 100% of the makespan (docs/OBSERVABILITY.md).
+    from ..obs import profile_metrics
+
+    cet = breakdown[1]
+    if cet.metrics is not None:
+        parts.append(
+            _section(
+                f"Observability: critical-path profile of cetric on "
+                f"{datasets[0]} (p={max(pe_counts)})",
+                profile_metrics(cet.metrics).format(),
+            )
+        )
+
     # 4. Approximation teaser.
     truth = edge_iterator(g).triangles
     d = doulion(g, 0.5, seed=1)

@@ -24,6 +24,8 @@ from ..graphs.csr import CSRGraph
 from ..graphs.distributed import DistGraph, distribute
 from ..net.costmodel import DEFAULT_SPEC, MachineSpec
 from ..net.machine import Machine, OutOfMemoryError
+from ..net.metrics import RunMetrics
+from ..net.trace import Tracer
 
 __all__ = [
     "RunResult",
@@ -74,6 +76,9 @@ class RunResult:
     phases: dict[str, float] = field(default_factory=dict)
     #: Failure label ("out-of-memory") when the run did not complete.
     failed: str | None = None
+    #: Full per-PE metrics (spans included) for the observability
+    #: exporters of :mod:`repro.obs`; not part of :meth:`as_dict`.
+    metrics: RunMetrics | None = field(default=None, repr=False, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -139,6 +144,7 @@ def run_algorithm(
     spec: MachineSpec = DEFAULT_SPEC,
     config_overrides: dict[str, Any] | None = None,
     program_kwargs: dict[str, Any] | None = None,
+    tracer: Tracer | None = None,
 ) -> RunResult:
     """Run one algorithm and return a normalized result row.
 
@@ -162,6 +168,9 @@ def run_algorithm(
     program_kwargs:
         Extra keyword arguments for baseline programs (e.g. HavoqGT's
         ``batch_pairs``).
+    tracer:
+        Optional :class:`~repro.net.trace.Tracer` receiving every
+        message/phase event of the run (Chrome-trace export).
     """
     if algorithm not in ALGORITHMS:
         raise ValueError(f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}")
@@ -193,7 +202,7 @@ def run_algorithm(
     else:
         program, args = havoqgt_program, (dist,)
 
-    machine = Machine(p, spec)
+    machine = Machine(p, spec, tracer=tracer)
     try:
         result = machine.run(program, *args, **kwargs)
     except OutOfMemoryError:
@@ -222,4 +231,5 @@ def run_algorithm(
         messages_dropped=metrics.total_messages_dropped,
         duplicates_discarded=metrics.total_duplicates_discarded,
         phases=metrics.phase_breakdown(),
+        metrics=metrics,
     )

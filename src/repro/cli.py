@@ -12,10 +12,16 @@ Subcommands
 ``datasets``
     The Table-I stand-in statistics next to the paper's numbers.
 ``lint``
-    Static SPMD-protocol checks (rules R1-R5) over source trees.
+    Static SPMD-protocol checks (rules R1-R6) over source trees.
 ``chaos``
     Fault-injection campaign: sweep seeds x drop rates (plus one
     scheduled PE crash) and assert exact counts (``docs/FAULTS.md``).
+``bench``
+    Instrumented benchmark run: emit a normalized record into
+    ``BENCH_<date>.json``, write a Chrome/Perfetto trace, print the
+    critical-path phase profile; ``--suite smoke`` runs the fixed
+    regression-gate suite and ``--baseline`` diffs against a committed
+    baseline (``docs/BENCHMARKS.md``).
 
 Examples
 --------
@@ -25,11 +31,14 @@ Examples
     repro-tc sweep --graph dataset:webbase-2001 --max-pes 32
     repro-tc datasets --scale 0.5
     repro-tc chaos --seeds 5 --drop-rates 0,0.05 --algorithms cetric
+    repro-tc bench --algo cetric --gen rmat -p 16
+    repro-tc bench --suite smoke --baseline benchmarks/baseline/BENCH_baseline.json
 """
 
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 
 import numpy as np
@@ -227,6 +236,86 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if all(o.exact for o in outcomes) else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import time as _time
+    from pathlib import Path
+
+    from .analysis.runner import run_algorithm
+    from .net.trace import Tracer
+    from .obs import (
+        bench,
+        profile_metrics,
+        record_from_run,
+        write_chrome_trace,
+    )
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    bench_path = out_dir / bench.bench_json_name()
+
+    if args.suite:
+        if args.suite != "smoke":
+            print(f"unknown suite {args.suite!r}; available: smoke")
+            return 2
+        records = bench.smoke_suite(scale_time=args.scale_time)
+        bench.write_bench_json(records, bench_path)
+        print(f"{len(records)} record(s) written to {bench_path}")
+    else:
+        spec_parts = [args.gen]
+        if args.size:
+            spec_parts.append(str(args.size))
+        elif ":" not in args.gen and args.gen in ("rgg2d", "rhg", "gnm", "rmat"):
+            spec_parts.append("10" if args.gen == "rmat" else "4096")
+        spec_parts.append(str(args.seed))
+        graph = parse_graph_spec(":".join(spec_parts))
+        tracer = Tracer()
+        t0 = _time.perf_counter()
+        res = run_algorithm(graph, args.algo, num_pes=args.pes, tracer=tracer)
+        wall = _time.perf_counter() - t0
+        if not res.ok:
+            print(f"{args.algo} failed: {res.failed}")
+            return 1
+        record = record_from_run(
+            f"bench:{args.gen}", res, wall_time=wall, graph=graph.name, seed=args.seed
+        )
+        if args.scale_time != 1.0 and record.simulated_time is not None:
+            record = bench.BenchRecord.from_dict(
+                {**record.to_dict(), "simulated_time": record.simulated_time * args.scale_time}
+            )
+        bench.write_bench_json([record], bench_path)
+        slug = re.sub(r"[^A-Za-z0-9._-]+", "-", graph.name).strip("-")
+        trace_path = Path(
+            args.trace or out_dir / f"trace_{args.algo}_{slug}_p{res.num_pes}.json"
+        )
+        write_chrome_trace(
+            trace_path, res.metrics, tracer, run_name=f"{args.algo} on {graph.name}"
+        )
+        profile = profile_metrics(res.metrics)
+        print(
+            profile.format(
+                title=f"{args.algo} on {graph.name} (p={res.num_pes}), "
+                f"{res.triangles} triangles"
+            )
+        )
+        print(f"bench record appended to {bench_path}")
+        print(f"Chrome trace written to {trace_path} (open in https://ui.perfetto.dev)")
+        records = [record]
+
+    if args.baseline:
+        baseline = bench.load_bench_json(args.baseline)
+        regressions = bench.diff_records(
+            baseline, records, threshold=args.threshold
+        )
+        compared = len(
+            {r.key for r in records if r.simulated_time is not None}
+            & {b.key for b in baseline if b.simulated_time is not None}
+        )
+        print(bench.format_diff(regressions, compared=compared, threshold=args.threshold))
+        if regressions:
+            return 1
+    return 0
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     print(f"{'instance':<14s} {'n':>8s} {'m':>9s} {'wedges':>12s} {'triangles':>10s}"
           f"   | paper (millions): n, m, wedges, triangles")
@@ -290,7 +379,7 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("--scale", type=float, default=1.0)
     d.set_defaults(func=_cmd_datasets)
 
-    li = sub.add_parser("lint", help="static SPMD protocol checks (R1-R5)")
+    li = sub.add_parser("lint", help="static SPMD protocol checks (R1-R6)")
     li.add_argument("paths", nargs="*", default=["src"], help="files/dirs to lint")
     li.add_argument("--list-rules", action="store_true", help="print rule catalogue")
     li.set_defaults(func=_cmd_lint)
@@ -314,6 +403,45 @@ def build_parser() -> argparse.ArgumentParser:
     ch.add_argument("--no-crash", action="store_true", help="disable the PE crash")
     ch.add_argument("-p", "--pes", type=int, default=4, help="simulated PEs")
     ch.set_defaults(func=_cmd_chaos)
+
+    b = sub.add_parser(
+        "bench",
+        help="instrumented benchmark run: BENCH_<date>.json record + "
+        "Chrome trace + phase profile (docs/BENCHMARKS.md)",
+    )
+    b.add_argument("--algo", default="cetric", choices=ALGORITHMS, help="algorithm")
+    b.add_argument(
+        "--gen",
+        default="rmat",
+        help="generator name (rmat/gnm/rgg2d/rhg) or full graph spec",
+    )
+    b.add_argument("--size", type=int, default=0, help="generator size (0 = default)")
+    b.add_argument("--seed", type=int, default=1, help="generator seed")
+    b.add_argument("-p", "--pes", type=int, default=16, help="simulated PEs")
+    b.add_argument("--out", default=".", help="directory for BENCH_<date>.json")
+    b.add_argument("--trace", default="", help="Chrome trace path (default: auto)")
+    b.add_argument(
+        "--suite", default="", help="run a fixed record suite instead ('smoke')"
+    )
+    b.add_argument(
+        "--baseline",
+        default="",
+        help="BENCH_*.json baseline to diff against (exit 1 on regression)",
+    )
+    b.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="relative simulated-cost regression that fails the gate",
+    )
+    b.add_argument(
+        "--scale-time",
+        type=float,
+        default=1.0,
+        help="multiply recorded simulated times (synthetic-regression "
+        "injection hook for validating the gate)",
+    )
+    b.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -30,6 +30,11 @@ RULES: dict[str, str] = {
         "route it through repro.net.reliable.reliable_send so the "
         "transport can sequence and retransmit it"
     ),
+    "R6": (
+        "ctx.span/ctx.phase misuse — the call must be entered via a "
+        "'with' statement and carry a string-literal (rank-invariant) "
+        "label, or the observability layer records nothing mergeable"
+    ),
     "R0": "file could not be parsed",
 }
 

@@ -1,4 +1,4 @@
-"""AST rules enforcing the SPMD protocol contract (R1–R5).
+"""AST rules enforcing the SPMD protocol contract (R1–R6).
 
 The machine in :mod:`repro.net.machine` runs SPMD programs written as
 generators; its correctness contract (``docs/SPMD_CONTRACT.md``) cannot
@@ -32,6 +32,16 @@ R5
     :func:`repro.net.reliable.reliable_send` (the aggregation queues
     and collectives already ride the machine's transport).  A direct
     ``ctx.send`` in such a program bypasses the runtime guard.
+R6
+    ``ctx.span(...)`` / ``ctx.phase(...)`` open a timed region that the
+    observability layer (:mod:`repro.obs`) attributes and merges across
+    PEs.  Two things go wrong syntactically: calling it outside a
+    ``with`` statement builds the context manager and never enters it
+    (no span is recorded), and computing the label from rank-dependent
+    state gives every PE a different span name, which breaks cross-PE
+    merging and the phase profiler's buckets.  R6 therefore requires
+    the call to be the context expression of a ``with`` item and its
+    label to be a string literal.
 
 The rules are heuristic by design (no type inference); suppress a
 deliberate violation with ``# noqa: R<n>`` on the offending line.
@@ -351,6 +361,7 @@ class _Checker(ast.NodeVisitor):
             )
         if self._fn is not None and self._fn.is_spmd:
             self._check_r4(node)
+        self._check_r6(node)
         if (
             self._fn is not None
             and self._fn.is_fault_tolerant
@@ -365,6 +376,41 @@ class _Checker(ast.NodeVisitor):
                 "sequence and retransmit the message",
             )
         self.generic_visit(node)
+
+    def _check_r6(self, node: ast.Call) -> None:
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("span", "phase")
+            and _is_ctx_expr(func.value)
+        ):
+            return
+        what = f"ctx.{func.attr}"
+        parent = getattr(node, "_repro_parent", None)
+        entered = isinstance(parent, ast.withitem) and parent.context_expr is node
+        if not entered:
+            self._emit(
+                node,
+                "R6",
+                f"'{what}(...)' outside a 'with' statement — the span context "
+                f"manager is built but never entered, so no time is recorded; "
+                f"write 'with {what}(...):'",
+            )
+        label: ast.AST | None = node.args[0] if node.args else None
+        if label is None:
+            for kw in node.keywords:
+                if kw.arg == "name":
+                    label = kw.value
+        if label is not None and not (
+            isinstance(label, ast.Constant) and isinstance(label.value, str)
+        ):
+            self._emit(
+                node,
+                "R6",
+                f"'{what}(...)' label must be a string literal — computed or "
+                f"rank-dependent labels give PEs diverging span names, which "
+                f"breaks cross-PE merging and phase-profile buckets",
+            )
 
     def _check_r4(self, node: ast.Call) -> None:
         func = node.func

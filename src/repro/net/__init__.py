@@ -46,7 +46,7 @@ from .reliable import (
     fault_tolerant,
     reliable_send,
 )
-from .trace import TraceEvent, Tracer, render_timeline
+from .trace import SpanRecord, TraceEvent, Tracer, render_timeline
 
 __all__ = [
     "BufferedMessageQueue",
@@ -86,6 +86,7 @@ __all__ = [
     "RunMetrics",
     "ProcessMachine",
     "RemoteDist",
+    "SpanRecord",
     "TraceEvent",
     "Tracer",
     "render_timeline",

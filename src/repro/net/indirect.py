@@ -147,12 +147,15 @@ class GridRouter:
         each PE re-posts the row records it proxied to their final
         destinations, column flush + barrier, and a final drain.
         """
-        row_records = yield from self._row_queue.finalize()
-        for fwd in row_records:
-            if not isinstance(fwd, ForwardRecord):
-                raise TypeError("row hop must carry ForwardRecord")
-            if fwd.final_dest == self.ctx.rank:
-                self._col_queue._local.append(fwd.record)
-            else:
-                self._col_queue.post(fwd.final_dest, fwd.record)
-        return (yield from self._col_queue.finalize())
+        with self.ctx.span("grid-row-hop"):
+            row_records = yield from self._row_queue.finalize()
+            for fwd in row_records:
+                if not isinstance(fwd, ForwardRecord):
+                    raise TypeError("row hop must carry ForwardRecord")
+                if fwd.final_dest == self.ctx.rank:
+                    self._col_queue._local.append(fwd.record)
+                else:
+                    self._col_queue.post(fwd.final_dest, fwd.record)
+        with self.ctx.span("grid-col-hop"):
+            records = yield from self._col_queue.finalize()
+        return records

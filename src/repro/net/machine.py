@@ -48,6 +48,7 @@ from .costmodel import DEFAULT_SPEC, MachineSpec
 from .messages import Message, Tag
 from .metrics import PEMetrics, RunMetrics
 from .reliable import LossyTransport, ReliableConfig, ReliableTransport
+from .trace import SpanRecord
 
 __all__ = [
     "Machine",
@@ -151,21 +152,53 @@ class PEContext:
         self._machine._note_progress()
 
     @contextmanager
-    def phase(self, name: str):
-        """Attribute simulated time spent inside the block to ``name``.
+    def span(self, name: str):
+        """Structured tracing: attribute the block's simulated time to ``name``.
 
-        Nested phases attribute to the innermost name only.
+        Spans nest (each records its own full interval, so an outer span
+        covers its children), charge nothing, and record a
+        :class:`~repro.net.trace.SpanRecord` carrying the nesting depth
+        and a compute/communication/wait/retransmit decomposition of the
+        interval — the raw material for the exporters and the phase
+        profiler in :mod:`repro.obs`.
+
+        Protocol contract (lint rule R6): open spans only as
+        ``with ctx.span("label")`` where the label is a rank-invariant
+        string literal — a span that is opened but never closed, or
+        whose label differs across ranks, breaks trace merging.
         """
-        start = self.metrics.clock
+        m = self.metrics
+        start = m.clock
+        comm0 = m.comm_seconds
+        wait0 = m.wait_seconds
+        retr0 = m.retransmit_seconds
+        depth = len(self._phase_stack)
         self._phase_stack.append((name, start))
         try:
             yield
         finally:
             self._phase_stack.pop()
-            self.metrics.phase_times[name] += self.metrics.clock - start
+            end = m.clock
+            m.phase_times[name] += end - start
+            m.spans.append(
+                SpanRecord(
+                    rank=self.rank,
+                    name=name,
+                    start=start,
+                    end=end,
+                    depth=depth,
+                    comm_time=m.comm_seconds - comm0,
+                    wait_time=m.wait_seconds - wait0,
+                    retransmit_time=m.retransmit_seconds - retr0,
+                )
+            )
             tracer = getattr(self._machine, "tracer", None)
             if tracer is not None:
-                tracer.phase(self.rank, name, start, self.metrics.clock)
+                tracer.phase(self.rank, name, start, end)
+
+    def phase(self, name: str):
+        """Alias of :meth:`span` (the original phase-attribution API)."""
+        return self.span(name)
 
     # ------------------------------------------------------------------
     # Messaging
@@ -182,7 +215,9 @@ class PEContext:
             raise ValueError(f"invalid destination rank {dest}")
         if words < 0:
             raise ValueError("words must be non-negative")
-        self.metrics.clock += self._slowdown * self.spec.message_time(words)
+        dt = self._slowdown * self.spec.message_time(words)
+        self.metrics.clock += dt
+        self.metrics.comm_seconds += dt
         self.metrics.messages_sent += 1
         self.metrics.words_sent += int(words)
         msg = Message(
@@ -214,8 +249,12 @@ class PEContext:
         if not q:
             return None
         msg = q.popleft()
-        self.metrics.clock = max(self.metrics.clock, msg.send_time)
-        self.metrics.clock += self._slowdown * self.spec.message_time(msg.words)
+        if msg.send_time > self.metrics.clock:
+            self.metrics.wait_seconds += msg.send_time - self.metrics.clock
+            self.metrics.clock = msg.send_time
+        dt = self._slowdown * self.spec.message_time(msg.words)
+        self.metrics.clock += dt
+        self.metrics.comm_seconds += dt
         self.metrics.messages_received += 1
         self.metrics.words_received += msg.words
         tracer = getattr(self._machine, "tracer", None)

@@ -12,6 +12,8 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+from .trace import SpanRecord
+
 __all__ = ["PEMetrics", "RunMetrics"]
 
 
@@ -41,6 +43,18 @@ class PEMetrics:
     duplicates_discarded: int = 0
     #: Simulated seconds attributed to named phases.
     phase_times: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    #: Simulated seconds charged at message endpoints (alpha + beta*l
+    #: for sends, receives, and transport acks).
+    comm_seconds: float = 0.0
+    #: Simulated seconds the clock was fast-forwarded to a message's
+    #: causal timestamp — idle time spent waiting for senders.
+    wait_seconds: float = 0.0
+    #: Simulated seconds charged by the reliable transport for
+    #: retransmissions and duplicate discards (fault overhead).
+    retransmit_seconds: float = 0.0
+    #: Closed ``ctx.span`` intervals in completion order (see
+    #: :class:`repro.net.trace.SpanRecord`).
+    spans: list[SpanRecord] = field(default_factory=list)
 
     def note_buffer(self, words: int) -> None:
         """Record an aggregation-buffer high-water mark."""
@@ -125,15 +139,61 @@ class RunMetrics:
         """Bottleneck fault pressure: max dropped transmissions on one PE."""
         return max((m.messages_dropped for m in self.per_pe), default=0)
 
+    # Observability aggregates (repro.obs) -----------------------------
+    @property
+    def total_comm_seconds(self) -> float:
+        """Total message-endpoint seconds charged across the machine."""
+        return sum(m.comm_seconds for m in self.per_pe)
+
+    @property
+    def total_wait_seconds(self) -> float:
+        """Total causal-timestamp waiting seconds across the machine."""
+        return sum(m.wait_seconds for m in self.per_pe)
+
+    @property
+    def critical_rank(self) -> int:
+        """Rank of the slowest PE (the one defining the makespan)."""
+        if not self.per_pe:
+            return 0
+        return max(range(len(self.per_pe)), key=lambda r: self.per_pe[r].clock)
+
+    def merged_spans(self) -> list[SpanRecord]:
+        """All PEs' spans in one machine-wide timeline.
+
+        Sorted by (start, rank, depth) so concurrent spans interleave
+        deterministically — the input shape of the exporters in
+        :mod:`repro.obs`.
+        """
+        out: list[SpanRecord] = []
+        for m in self.per_pe:
+            out.extend(m.spans)
+        out.sort(key=lambda s: (s.start, s.rank, s.depth, s.name))
+        return out
+
     def phase_breakdown(self) -> dict[str, float]:
         """Per-phase modelled time: max over PEs of each phase's time.
 
         Matches Fig. 7's stacked bars, which decompose the *critical
         path* of each run into preprocessing / local / global phases.
+        Sub-spans that only ever open *inside* another span (e.g. the
+        grid router's hop spans within ``global``) are excluded — their
+        time is already part of their enclosing phase, and including
+        them would double-count it in any sum over the breakdown.  The
+        full nested detail stays available via :meth:`merged_spans`.
         """
+        depth0: set[str] = set()
+        recorded: set[str] = set()
+        for m in self.per_pe:
+            for s in m.spans:
+                recorded.add(s.name)
+                if s.depth == 0:
+                    depth0.add(s.name)
+        nested_only = recorded - depth0
         phases: dict[str, float] = {}
         for m in self.per_pe:
             for name, t in m.phase_times.items():
+                if name in nested_only:
+                    continue
                 phases[name] = max(phases.get(name, 0.0), t)
         return phases
 

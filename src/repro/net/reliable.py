@@ -165,7 +165,9 @@ class ReliableTransport:
                 timeout *= self.config.backoff
                 sender.metrics.timeouts += 1
                 sender.metrics.retransmits += 1
-                sender.metrics.clock += sender._slowdown * wire_time
+                retransmit_dt = sender._slowdown * wire_time
+                sender.metrics.clock += retransmit_dt
+                sender.metrics.retransmit_seconds += retransmit_dt
                 if tracer is not None:
                     tracer.retry(t, msg.src, msg.dest, msg.tag, msg.words)
                 attempts += 1
@@ -190,9 +192,9 @@ class ReliableTransport:
             # Duplicate: the receiver pays for pulling it off the wire,
             # then discards it before it reaches the program's inbox.
             receiver.metrics.duplicates_discarded += 1
-            receiver.metrics.clock += receiver._slowdown * machine.spec.message_time(
-                msg.words
-            )
+            dup_dt = receiver._slowdown * machine.spec.message_time(msg.words)
+            receiver.metrics.clock += dup_dt
+            receiver.metrics.retransmit_seconds += dup_dt
             machine._note_progress()
             return
         self._expected[chan] = (msg.channel_seq or 0) + 1
@@ -203,8 +205,10 @@ class ReliableTransport:
             # Cumulative ack: one control message, both endpoints pay.
             ack_time = machine.spec.message_time(ACK_WORDS)
             receiver.metrics.clock += receiver._slowdown * ack_time
+            receiver.metrics.comm_seconds += receiver._slowdown * ack_time
             sender = machine._contexts[msg.src]
             sender.metrics.clock += sender._slowdown * ack_time
+            sender.metrics.comm_seconds += sender._slowdown * ack_time
 
 
 class LossyTransport:

@@ -15,7 +15,57 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable
 
-__all__ = ["TraceEvent", "Tracer", "render_timeline"]
+__all__ = ["SpanRecord", "TraceEvent", "Tracer", "render_timeline"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One closed ``ctx.span`` interval on one PE.
+
+    Spans are the structured counterpart of the flat ``phase`` trace
+    events: they carry their nesting ``depth`` and a decomposition of
+    the simulated time spent inside the interval —
+
+    ``comm_time``
+        seconds charged at message endpoints (``alpha + beta * words``
+        for sends, receives, and acks);
+    ``wait_time``
+        seconds the PE's clock was fast-forwarded waiting for a
+        message's causal timestamp (idle time on the critical path);
+    ``retransmit_time``
+        seconds charged by the reliable transport for retransmissions
+        and duplicate discards (zero on fault-free runs).
+
+    The residue ``elapsed - comm_time - wait_time - retransmit_time``
+    is local compute.  Spans are recorded per PE in
+    :attr:`repro.net.metrics.PEMetrics.spans` and merged across PEs by
+    :meth:`repro.net.metrics.RunMetrics.merged_spans`; the exporters in
+    :mod:`repro.obs` turn them into Chrome traces, CSV tables, and
+    terminal flamegraphs.
+    """
+
+    rank: int
+    name: str
+    #: Simulated start/end clocks (seconds).
+    start: float
+    end: float
+    #: Nesting depth: 0 for top-level phases, +1 per enclosing span.
+    depth: int
+    comm_time: float = 0.0
+    wait_time: float = 0.0
+    retransmit_time: float = 0.0
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated seconds covered by the span."""
+        return self.end - self.start
+
+    @property
+    def compute_time(self) -> float:
+        """Elapsed time minus communication, waiting, and retransmits."""
+        return max(
+            0.0, self.elapsed - self.comm_time - self.wait_time - self.retransmit_time
+        )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,81 @@
+"""CSV export of spans and run summaries for the analysis tables.
+
+Two flat tables cover what the evaluation scripts consume:
+
+* :func:`spans_csv` — one row per closed span (rank, name, depth,
+  interval, and the compute/comm/wait/retransmit decomposition);
+* :func:`summary_csv` — one row per run from
+  :class:`~repro.analysis.runner.RunResult`-shaped dicts (the same
+  normalization the benchmark records use).
+
+Both render with the stdlib ``csv`` module so quoting is standard, and
+both are deterministic for a fixed-seed run.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, Mapping
+
+from ..net.metrics import RunMetrics
+
+__all__ = ["spans_csv", "summary_csv"]
+
+SPAN_COLUMNS = (
+    "rank",
+    "name",
+    "depth",
+    "start_s",
+    "end_s",
+    "elapsed_s",
+    "compute_s",
+    "comm_s",
+    "wait_s",
+    "retransmit_s",
+)
+
+
+def spans_csv(metrics: RunMetrics) -> str:
+    """All merged spans of a run as a CSV table (header included)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(SPAN_COLUMNS)
+    for s in metrics.merged_spans():
+        writer.writerow(
+            [
+                s.rank,
+                s.name,
+                s.depth,
+                f"{s.start:.9f}",
+                f"{s.end:.9f}",
+                f"{s.elapsed:.9f}",
+                f"{s.compute_time:.9f}",
+                f"{s.comm_time:.9f}",
+                f"{s.wait_time:.9f}",
+                f"{s.retransmit_time:.9f}",
+            ]
+        )
+    return buf.getvalue()
+
+
+def summary_csv(rows: Iterable[Mapping[str, object]]) -> str:
+    """Dict rows (e.g. ``RunResult.as_dict()``) as one CSV table.
+
+    The column set is the union over rows, first-seen order, so sweeps
+    mixing algorithms with different phase sets still align.
+    """
+    rows = list(rows)
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    buf = io.StringIO()
+    writer = csv.DictWriter(
+        buf, fieldnames=columns, restval="", lineterminator="\n"
+    )
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(dict(row))
+    return buf.getvalue()

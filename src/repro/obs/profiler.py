@@ -1,0 +1,94 @@
+"""Phase profiler: decompose a run's critical path into Fig.-7 categories.
+
+The paper's Fig. 7 attributes the running time of the slowest PE to
+algorithm phases; the profiler reproduces that taxonomy from span
+records and the communication counters:
+
+* one *compute* bucket per top-level span label (``preprocessing``,
+  ``local``, ``contraction``, ``global``, ...) — the span's elapsed
+  time minus everything attributed below;
+* ``communication`` — all message-endpoint time (alpha + beta*l) of
+  the critical PE, wherever it was charged;
+* ``wait`` — clock fast-forwards to causal message timestamps (idle
+  time behind stragglers or late senders);
+* ``retransmit`` — reliable-transport fault-repair time (zero on
+  fault-free runs);
+* ``other`` — time outside every span (e.g. the final allreduce's
+  local bookkeeping).
+
+By construction the buckets partition the critical PE's clock, so
+:meth:`PhaseProfile.percentages` sums to 100%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..net.metrics import RunMetrics
+
+__all__ = ["PhaseProfile", "profile_metrics"]
+
+
+@dataclass
+class PhaseProfile:
+    """Critical-path time decomposition of one simulated run."""
+
+    num_pes: int
+    #: Modelled running time (the critical PE's final clock).
+    makespan: float
+    #: Rank of the PE defining the makespan.
+    critical_rank: int
+    #: Category -> simulated seconds on the critical PE; partitions
+    #: ``makespan`` (compute buckets in program order, then
+    #: communication / wait / retransmit / other).
+    categories: dict[str, float] = field(default_factory=dict)
+
+    def percentages(self) -> dict[str, float]:
+        """Category -> percent of the makespan; sums to ~100."""
+        total = self.makespan
+        if total <= 0:
+            return {name: 0.0 for name in self.categories}
+        return {name: 100.0 * t / total for name, t in self.categories.items()}
+
+    def format(self, *, title: str = "") -> str:
+        """Aligned text table (seconds and percentages)."""
+        pct = self.percentages()
+        width = max((len(n) for n in self.categories), default=8)
+        lines = []
+        if title:
+            lines.append(title)
+        lines.append(
+            f"critical path: PE {self.critical_rank} of {self.num_pes}, "
+            f"makespan {self.makespan:.6f} s"
+        )
+        for name, seconds in self.categories.items():
+            lines.append(f"  {name:<{width}s}  {seconds:12.6f} s  {pct[name]:6.2f} %")
+        lines.append(f"  {'total':<{width}s}  {self.makespan:12.6f} s  {sum(pct.values()):6.2f} %")
+        return "\n".join(lines)
+
+
+def profile_metrics(metrics: RunMetrics) -> PhaseProfile:
+    """Profile the critical-path PE of a finished run."""
+    if not metrics.per_pe:
+        return PhaseProfile(num_pes=0, makespan=0.0, critical_rank=0)
+    rank = metrics.critical_rank
+    pe = metrics.per_pe[rank]
+    categories: dict[str, float] = {}
+    compute_in_spans = 0.0
+    for span in pe.spans:
+        if span.depth != 0:
+            continue  # children are covered by their top-level ancestor
+        categories[span.name] = categories.get(span.name, 0.0) + span.compute_time
+        compute_in_spans += span.compute_time
+    categories["communication"] = pe.comm_seconds
+    categories["wait"] = pe.wait_seconds
+    categories["retransmit"] = pe.retransmit_seconds
+    other = pe.clock - compute_in_spans - pe.comm_seconds - pe.wait_seconds
+    other -= pe.retransmit_seconds
+    categories["other"] = max(0.0, other)
+    return PhaseProfile(
+        num_pes=metrics.num_pes,
+        makespan=pe.clock,
+        critical_rank=rank,
+        categories=categories,
+    )

@@ -1,0 +1,54 @@
+"""Terminal timeline / flamegraph renderer for span records.
+
+One block of rows per PE: each nesting depth renders as its own lane,
+spans as labelled bars positioned on a shared simulated-time axis
+scaled to the run's makespan.  Complements ``render_timeline`` in
+:mod:`repro.net.trace` (a chronological event log) with an at-a-glance
+per-PE phase picture that needs no external viewer.
+"""
+
+from __future__ import annotations
+
+from ..net.metrics import RunMetrics
+
+__all__ = ["render_flamegraph"]
+
+
+def _bar(label: str, cells: int) -> str:
+    """A bar of ``cells`` character cells carrying ``label`` inside."""
+    if cells <= 0:
+        return ""
+    if cells <= 2:
+        return "#" * cells
+    inner = label[: cells - 2]
+    return "[" + inner.ljust(cells - 2, "=") + "]"
+
+
+def render_flamegraph(metrics: RunMetrics, *, width: int = 72) -> str:
+    """Render every PE's span lanes over a common time axis."""
+    makespan = metrics.makespan
+    lines = [
+        f"simulated timeline, makespan {makespan:.6f} s "
+        f"({width} cells, critical PE {metrics.critical_rank})"
+    ]
+    scale = width / makespan if makespan > 0 else 0.0
+    for rank, pe in enumerate(metrics.per_pe):
+        depths = sorted({s.depth for s in pe.spans})
+        lines.append(
+            f"PE {rank}  clock={pe.clock:.6f}s  comm={pe.comm_seconds:.6f}s  "
+            f"wait={pe.wait_seconds:.6f}s"
+        )
+        for depth in depths:
+            lane = [" "] * width
+            for s in sorted(
+                (s for s in pe.spans if s.depth == depth),
+                key=lambda s: (s.start, s.name),
+            ):
+                lo = min(width - 1, int(s.start * scale))
+                hi = min(width, max(lo + 1, int(s.end * scale)))
+                for i, ch in enumerate(_bar(s.name, hi - lo)):
+                    lane[lo + i] = ch
+            lines.append(f"  d{depth} |{''.join(lane)}|")
+        if not depths:
+            lines.append("  (no spans recorded)")
+    return "\n".join(lines)

@@ -44,6 +44,11 @@ def prog(ctx):
     ctx.send(1, "t", None, 4)
     yield
 """,
+    "R6": """
+def prog(ctx):
+    ctx.span("local")
+    yield
+""",
 }
 
 GOOD = {
@@ -74,6 +79,11 @@ def prog(ctx):
 def prog(ctx):
     reliable_send(ctx, 1, "t", None, 4)
     yield
+""",
+    "R6": """
+def prog(ctx):
+    with ctx.span("local"):
+        yield
 """,
 }
 
@@ -181,7 +191,7 @@ def test_finding_format_is_compiler_style():
 
 
 def test_rule_catalogue_is_complete():
-    assert set(RULES) == {"R0", "R1", "R2", "R3", "R4", "R5"}
+    assert set(RULES) == {"R0", "R1", "R2", "R3", "R4", "R5", "R6"}
 
 
 def test_r5_only_applies_to_marked_programs():
@@ -208,6 +218,57 @@ def test_r5_noqa_escape():
 def prog(ctx):
     ctx.send(1, "t", None, 4)  # noqa: R5
     yield
+"""
+    assert lint_source(src) == []
+
+
+def test_r6_flags_span_assigned_instead_of_entered():
+    src = """
+def prog(ctx):
+    s = ctx.phase("local")
+    yield
+"""
+    findings = lint_source(src)
+    assert [f.code for f in findings] == ["R6"]
+    assert "with" in findings[0].message
+
+
+def test_r6_flags_computed_and_rank_dependent_labels():
+    fstring = """
+def prog(ctx):
+    with ctx.span(f"local-{ctx.rank}"):
+        yield
+"""
+    assert [f.code for f in lint_source(fstring)] == ["R6"]
+    variable = """
+def prog(ctx, label):
+    with ctx.span(label):
+        yield
+"""
+    assert [f.code for f in lint_source(variable)] == ["R6"]
+    keyword = """
+def prog(ctx):
+    with ctx.span(name="global" + "x"):
+        yield
+"""
+    assert [f.code for f in lint_source(keyword)] == ["R6"]
+
+
+def test_r6_does_not_flag_non_ctx_receivers():
+    # The tracer's phase() *event recorder* is not a span context
+    # manager; only the PEContext handle is policed.
+    src = """
+def record(tracer, rank, t):
+    tracer.phase(rank, "local", t, t + 1.0)
+"""
+    assert lint_source(src) == []
+
+
+def test_r6_accepts_with_as_binding():
+    src = """
+def prog(ctx):
+    with ctx.span("contraction") as s:
+        yield
 """
     assert lint_source(src) == []
 
