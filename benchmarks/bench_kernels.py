@@ -38,6 +38,31 @@ def test_bench_batch_intersection(benchmark, intersection_batch):
     harness.emit_wall("kernel:batch_intersect", benchmark)
 
 
+def test_bench_batched_side_swap(benchmark):
+    """Adaptive side swap: searchsorted probes from the smaller side.
+
+    The batch has one side ~32x heavier than the other; the swap in
+    :func:`batch_intersect_count` keeps the binary-search side small,
+    and (asserted here) the result is identical either way because the
+    merge is symmetric.
+    """
+    rng = np.random.default_rng(3)
+    n, big, small = 20_000, 64, 2
+    # Strictly increasing rows -> sorted unique blocks after ravel.
+    a_cat = np.cumsum(rng.integers(1, 5, size=(n, big)), axis=1).ravel()
+    b_cat = np.cumsum(rng.integers(1, 5, size=(n, small)), axis=1).ravel()
+    a_x = np.arange(n + 1, dtype=np.int64) * big
+    b_x = np.arange(n + 1, dtype=np.int64) * small
+    bound = int(max(a_cat.max(), b_cat.max())) + 1
+    result = benchmark(batch_intersect_count, a_cat, a_x, b_cat, b_x, bound)
+    swapped = batch_intersect_count(b_cat, b_x, a_cat, a_x, bound)
+    assert np.array_equal(result.counts, swapped.counts)
+    assert result.ops == swapped.ops
+    harness.emit_wall(
+        "kernel:batch_intersect_asymmetric", benchmark, pairs=n, ratio=big // small
+    )
+
+
 def test_bench_orientation(benchmark, medium_graph):
     og = benchmark(orient_by_degree, medium_graph)
     assert og.num_arcs == medium_graph.num_edges

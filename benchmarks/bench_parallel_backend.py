@@ -69,7 +69,7 @@ def test_backend_agreement(benchmark, results_dir):
         harness.emit(
             "backend_comparison",
             simulated_time=r["modelled time [s]"],
-            wall_time=r["wall time [s]"],
+            wall_seconds=r["wall time [s]"],
             total_volume=r["total volume"],
             triangles=r["triangles"],
             backend=r["backend"],

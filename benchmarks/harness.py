@@ -31,7 +31,7 @@ def emit(
     name: str,
     *,
     simulated_time: float | None = None,
-    wall_time: float | None = None,
+    wall_seconds: float | None = None,
     triangles: int | None = None,
     total_volume: int | None = None,
     bottleneck_volume: int | None = None,
@@ -48,7 +48,7 @@ def emit(
         bottleneck_volume=bottleneck_volume,
         max_messages=max_messages,
         peak_words=peak_words,
-        wall_time=wall_time,
+        wall_seconds=wall_seconds,
         triangles=triangles,
     )
     _RECORDS.append(rec)
@@ -66,22 +66,22 @@ def emit_wall(name: str, benchmark, **params) -> BenchRecord:
     if stats is not None:
         inner = getattr(stats, "stats", stats)
         mean = getattr(inner, "mean", None)
-    return emit(name, wall_time=mean, **params)
+    return emit(name, wall_seconds=mean, **params)
 
 
-def emit_run(name: str, result, *, wall_time: float | None = None, **params) -> BenchRecord:
+def emit_run(name: str, result, *, wall_seconds: float | None = None, **params) -> BenchRecord:
     """Normalize one :class:`~repro.analysis.runner.RunResult` row."""
     rec = record_from_run(
-        name, result, wall_time=wall_time, graph=result.graph, **params
+        name, result, wall_seconds=wall_seconds, graph=result.graph, **params
     )
     _RECORDS.append(rec)
     return rec
 
 
-def emit_rows(name: str, rows, *, wall_time: float | None = None, **params) -> None:
+def emit_rows(name: str, rows, *, wall_seconds: float | None = None, **params) -> None:
     """Normalize a list of run rows (one record per row)."""
     for row in rows:
-        emit_run(name, row, wall_time=wall_time, **params)
+        emit_run(name, row, wall_seconds=wall_seconds, **params)
 
 
 def pending() -> list[BenchRecord]:

@@ -253,12 +253,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     out_dir.mkdir(parents=True, exist_ok=True)
     bench_path = out_dir / bench.bench_json_name()
 
+    def _print_bench_table(records) -> None:
+        print(f"{'record':<28s} {'algorithm':<10s} {'sim time [s]':>14s} "
+              f"{'wall [s]':>10s} {'triangles':>10s}")
+        for rec in records:
+            sim = f"{rec.simulated_time:.6f}" if rec.simulated_time is not None else "-"
+            wall = f"{rec.wall_seconds:.3f}" if rec.wall_seconds is not None else "-"
+            tri = str(rec.triangles) if rec.triangles is not None else "-"
+            algo = str(rec.params.get("algorithm", "-"))
+            print(f"{rec.name:<28s} {algo:<10s} {sim:>14s} {wall:>10s} {tri:>10s}")
+
     if args.suite:
         if args.suite != "smoke":
             print(f"unknown suite {args.suite!r}; available: smoke")
             return 2
         records = bench.smoke_suite(scale_time=args.scale_time)
         bench.write_bench_json(records, bench_path)
+        _print_bench_table(records)
         print(f"{len(records)} record(s) written to {bench_path}")
     else:
         spec_parts = [args.gen]
@@ -276,7 +287,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"{args.algo} failed: {res.failed}")
             return 1
         record = record_from_run(
-            f"bench:{args.gen}", res, wall_time=wall, graph=graph.name, seed=args.seed
+            f"bench:{args.gen}", res, wall_seconds=wall, graph=graph.name, seed=args.seed
         )
         if args.scale_time != 1.0 and record.simulated_time is not None:
             record = bench.BenchRecord.from_dict(
@@ -297,6 +308,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f"{res.triangles} triangles"
             )
         )
+        _print_bench_table([record])
         print(f"bench record appended to {bench_path}")
         print(f"Chrome trace written to {trace_path} (open in https://ui.perfetto.dev)")
         records = [record]

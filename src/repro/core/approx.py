@@ -165,6 +165,9 @@ def amq_cetric_program(
         # members are exactly the receiver-side targets.
         run_starts = np.flatnonzero(first)
         run_ends = np.concatenate([run_starts[1:], [c_src.size]])
+        # Per-run loop, not post_many: each run builds an opaque AMQ
+        # payload (a Bloom filter is inherently a per-destination
+        # object), so there is no frameable array batch to pack.
         for start, end in zip(run_starts.tolist(), run_ends.tolist()):
             slot = int(c_src[start])
             rank = int(dst_ranks[start])
@@ -282,6 +285,7 @@ def amq_lcc_program(
         ctx.charge(c_src.size)
         run_starts = np.flatnonzero(first)
         run_ends = np.concatenate([run_starts[1:], [c_src.size]])
+        # Per-run loop as in amq_cetric_program: opaque AMQ payloads.
         for start, end in zip(run_starts.tolist(), run_ends.tolist()):
             slot = int(c_src[start])
             rank = int(dst_ranks[start])

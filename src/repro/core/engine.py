@@ -44,11 +44,13 @@ from typing import Generator
 import numpy as np
 
 from ..graphs.distributed import DistGraph
-from ..net.aggregation import BufferedMessageQueue, Record
+from ..net.aggregation import BufferedMessageQueue
 from ..net.comm import allreduce
 from ..net.indirect import GridRouter
 from ..net.machine import PEContext
+from ..net.messages import HEADER_WORDS
 from ..net.reliable import fault_tolerant
+from .intersect import gather_blocks
 from .kernels import count_csr_pairs, count_record_pairs
 from .preprocessing import OrientedLocalGraph, build_oriented, exchange_ghost_degrees
 
@@ -164,6 +166,36 @@ def _surrogate_filter(
     return first
 
 
+def _post_cut_neighborhoods(
+    router,
+    send_xadj: np.ndarray,
+    send_adj: np.ndarray,
+    c_src: np.ndarray,
+    c_dst: np.ndarray,
+    dst_ranks: np.ndarray,
+    sends: np.ndarray,
+    vlo: int,
+    *,
+    targeted: bool,
+) -> tuple[int, int]:
+    """Post one record per selected cut arc, as a single packed batch.
+
+    With ``targeted`` (Algorithm 2 shape) each record carries its owned
+    endpoint ``c_dst``; otherwise the records are surrogate broadcasts.
+    Returns ``(records, words)`` posted — ``words`` is exactly the sum
+    of the per-record ``Record.words`` charges.
+    """
+    slots = c_src[sends]
+    k = int(slots.size)
+    if k == 0:
+        return 0, 0
+    neighbors, nbh_xadj = gather_blocks(send_xadj, send_adj, slots)
+    targets = c_dst[sends] if targeted else np.full(k, -1, dtype=np.int64)
+    router.post_many(dst_ranks[sends], vlo + slots, targets, nbh_xadj, neighbors)
+    words = int(neighbors.size) + HEADER_WORDS * k + (k if targeted else 0)
+    return k, words
+
+
 @fault_tolerant
 def counting_program(
     ctx: PEContext, dist: DistGraph, config: EngineConfig
@@ -246,28 +278,21 @@ def counting_program(
         dst_ranks = lg.partition.rank_of(c_dst) if c_dst.size else c_dst
         sends = _surrogate_filter(c_src, dst_ranks, enabled=config.surrogate)
         ctx.charge(c_src.size)  # scanning cut arcs / surrogate bookkeeping
-        posted_words = 0
-        records_sent = 0
-        if config.surrogate:
-            # One (v, A(v)) record per destination PE; the receiver
-            # loops over all its local u in A(v).
-            for slot, rank in zip(c_src[sends].tolist(), dst_ranks[sends].tolist()):
-                nbh = send_adj[send_xadj[slot] : send_xadj[slot + 1]]
-                rec = Record(int(vlo + slot), nbh)
-                router.post(rank, rec)
-                posted_words += rec.words
-                records_sent += 1
-        else:
-            # Algorithm 2 shape: one ((v, u), A(v)) record per cut arc,
-            # possibly shipping the same neighborhood repeatedly.
-            for slot, u, rank in zip(
-                c_src.tolist(), c_dst.tolist(), dst_ranks.tolist()
-            ):
-                nbh = send_adj[send_xadj[slot] : send_xadj[slot + 1]]
-                rec = Record(int(vlo + slot), nbh, target=int(u))
-                router.post(rank, rec)
-                posted_words += rec.words
-                records_sent += 1
+        # Surrogate: one broadcast (v, A(v)) record per destination PE
+        # (the receiver loops over all its local u in A(v)).  Otherwise
+        # the Algorithm 2 shape: one targeted ((v, u), A(v)) record per
+        # cut arc, possibly shipping the same neighborhood repeatedly.
+        records_sent, posted_words = _post_cut_neighborhoods(
+            router,
+            send_xadj,
+            send_adj,
+            c_src,
+            c_dst,
+            dst_ranks,
+            sends,
+            vlo,
+            targeted=not config.surrogate,
+        )
         ctx.charge(posted_words)  # buffer writes
         records = yield from router.finalize()
         remote_count = count_record_pairs(

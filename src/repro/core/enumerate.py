@@ -21,11 +21,11 @@ from typing import Generator
 import numpy as np
 
 from ..graphs.distributed import DistGraph
-from ..net.aggregation import BufferedMessageQueue, Record
+from ..net.aggregation import BufferedMessageQueue
 from ..net.comm import allreduce
 from ..net.indirect import GridRouter
 from ..net.machine import PEContext
-from .engine import EngineConfig, _surrogate_filter
+from .engine import EngineConfig, _post_cut_neighborhoods, _surrogate_filter
 from .kernels import record_pairs_elements
 from .lcc import _triangles_elements_local
 from .preprocessing import build_oriented, exchange_ghost_degrees
@@ -93,9 +93,10 @@ def enumerate_program(
         dst_ranks = lg.partition.rank_of(c_dst) if c_dst.size else c_dst
         sends = _surrogate_filter(c_src, dst_ranks, enabled=config.surrogate)
         ctx.charge(c_src.size)
-        for slot, rank in zip(c_src[sends].tolist(), dst_ranks[sends].tolist()):
-            nbh = send_adj[send_xadj[slot] : send_xadj[slot + 1]]
-            router.post(rank, Record(int(vlo + slot), nbh))
+        _post_cut_neighborhoods(
+            router, send_xadj, send_adj, c_src, c_dst, dst_ranks, sends, vlo,
+            targeted=False,
+        )
         records = yield from router.finalize()
         rv, ru, rw = record_pairs_elements(
             ctx,

@@ -164,6 +164,14 @@ def batch_intersect_count(
     ops = merge_cost(a_concat.size, b_concat.size)
     if k == 0 or a_concat.size == 0 or b_concat.size == 0:
         return BatchIntersections(np.zeros(k, dtype=np.int64), ops)
+    if a_concat.size > b_concat.size:
+        # Search the smaller concatenation in the bigger one (the
+        # scalar kernels' small-into-large rule, chosen per chunk by
+        # total size).  Output-identical: hits are the common keyed
+        # values, counted per pair, whichever side is searched; the
+        # charged ops stay the symmetric merge cost.
+        a_concat, b_concat = b_concat, a_concat
+        a_xadj, b_xadj = b_xadj, a_xadj
     keyed_a, pair_a = _keyed(a_concat, a_xadj, vertex_bound)
     keyed_b, _ = _keyed(b_concat, b_xadj, vertex_bound)
     idx = np.searchsorted(keyed_b, keyed_a)
@@ -199,6 +207,13 @@ def batch_intersect_elements(
     ops = merge_cost(a_concat.size, b_concat.size)
     if a_xadj.size - 1 == 0 or a_concat.size == 0 or b_concat.size == 0:
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), ops
+    if a_concat.size > b_concat.size:
+        # Small-into-large, as in batch_intersect_count.  The returned
+        # (pair_idx, elements) stream is identical either way: blocks
+        # are sorted unique, so hits emerge in (pair, element) order
+        # from whichever side is searched.
+        a_concat, b_concat = b_concat, a_concat
+        a_xadj, b_xadj = b_xadj, a_xadj
     keyed_a, pair_a = _keyed(a_concat, a_xadj, vertex_bound)
     keyed_b, _ = _keyed(b_concat, b_xadj, vertex_bound)
     idx = np.searchsorted(keyed_b, keyed_a)

@@ -4,6 +4,12 @@ Each helper performs many ``|A ∩ B|`` intersections in one vectorized
 batch (per the HPC-Python guidance) and charges the merge-model cost to
 the PE's simulated clock.  Work is chunked so temporary arrays stay
 bounded even when a PE processes millions of arc pairs.
+
+Received record batches arrive as a
+:class:`~repro.net.frames.RecordFrame` — already in the CSR layout the
+batch kernels consume — so the receiver side runs without any
+per-record Python iteration.  Plain ``list[Record]`` inputs (hand-rolled
+callers, the TriC baseline) are packed into a frame on entry.
 """
 
 from __future__ import annotations
@@ -12,11 +18,12 @@ from typing import Iterator
 
 import numpy as np
 
-from ..net.aggregation import Record
+from ..net.frames import Record, RecordFrame
 from ..net.machine import PEContext
-from .intersect import batch_intersect_count, batch_intersect_elements, concat_xadj, gather_blocks
+from .intersect import batch_intersect_count, batch_intersect_elements, gather_blocks
 
 __all__ = [
+    "as_frame",
     "count_csr_pairs",
     "count_record_pairs",
     "record_pairs_elements",
@@ -31,6 +38,13 @@ def chunked(total: int, chunk: int = CHUNK_PAIRS) -> Iterator[slice]:
     """Yield slices covering ``range(total)`` in ``chunk``-sized pieces."""
     for start in range(0, total, chunk):
         yield slice(start, min(start + chunk, total))
+
+
+def as_frame(records: RecordFrame | list[Record]) -> RecordFrame:
+    """Frame view of a received batch (packs legacy record lists)."""
+    if isinstance(records, RecordFrame):
+        return records
+    return RecordFrame.from_records(records)
 
 
 def count_csr_pairs(
@@ -60,65 +74,38 @@ def count_csr_pairs(
     return total
 
 
-def _records_to_batch(
-    records: list[Record],
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Concatenate record neighborhoods into CSR-of-records form.
-
-    Returns ``(vertices, rxadj, radj)`` where record ``i`` owns
-    ``radj[rxadj[i]:rxadj[i+1]]``.
-    """
-    if not records:
-        return (
-            np.empty(0, dtype=np.int64),
-            np.zeros(1, dtype=np.int64),
-            np.empty(0, dtype=np.int64),
-        )
-    vertices = np.fromiter((r.vertex for r in records), dtype=np.int64, count=len(records))
-    sizes = np.fromiter((r.neighbors.size for r in records), dtype=np.int64, count=len(records))
-    rxadj = concat_xadj(sizes)
-    radj = (
-        np.concatenate([r.neighbors for r in records])
-        if int(rxadj[-1])
-        else np.empty(0, dtype=np.int64)
-    )
-    return vertices, rxadj, radj
-
-
 def _expand_record_pairs(
     ctx: PEContext,
-    records: list[Record],
+    frame: RecordFrame,
     vlo: int,
     vhi: int,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """For received records, enumerate the (record, local target) pairs.
 
-    A record with an explicit ``target`` (Algorithm 2 shape) yields
-    exactly one pair for that edge.  A broadcast record
-    (``target=None``, surrogate shape) yields one pair per owned
-    ``u ∈ A(v)``.  Returns ``(rxadj, radj, rec_idx, targets)``:
-    the record-CSR plus, per pair, its record index and owned ``u``.
+    A record with an explicit target (Algorithm 2 shape) yields exactly
+    one pair for that edge.  A broadcast record (surrogate shape)
+    yields one pair per owned ``u ∈ A(v)``.  Returns
+    ``(rxadj, radj, rec_idx, targets)``: the record-CSR plus, per pair,
+    its record index and owned ``u``.  Works entirely on the frame's
+    arrays — no per-record iteration.
     """
-    vertices, rxadj, radj = _records_to_batch(records)
+    rxadj = frame.xadj
+    radj = frame.neighbors
+    has_target = frame.targets >= 0
     rec_idx_parts: list[np.ndarray] = []
     target_parts: list[np.ndarray] = []
-    targeted = np.fromiter(
-        (r.target if r.target is not None else -1 for r in records),
-        dtype=np.int64,
-        count=len(records),
-    )
-    has_target = targeted >= 0
     if np.any(has_target):
         idx = np.flatnonzero(has_target)
-        tg = targeted[idx]
+        tg = frame.targets[idx]
         ok = (tg >= vlo) & (tg < vhi)
         rec_idx_parts.append(idx[ok])
         target_parts.append(tg[ok])
         ctx.charge(idx.size)
     if not np.all(has_target):
-        bidx = np.flatnonzero(~has_target)
         # Entries of broadcast records only.
-        rec_of_entry = np.repeat(np.arange(len(records), dtype=np.int64), np.diff(rxadj))
+        rec_of_entry = np.repeat(
+            np.arange(frame.num_records, dtype=np.int64), np.diff(rxadj)
+        )
         bmask = ~has_target[rec_of_entry]
         cand_rec = rec_of_entry[bmask]
         cand_u = radj[bmask]
@@ -126,7 +113,6 @@ def _expand_record_pairs(
         rec_idx_parts.append(cand_rec[local_mask])
         target_parts.append(cand_u[local_mask])
         ctx.charge(cand_u.size)  # scan for local targets (Algorithm 3 line 15)
-        del bidx
     rec_idx = (
         np.concatenate(rec_idx_parts) if rec_idx_parts else np.empty(0, dtype=np.int64)
     )
@@ -138,7 +124,7 @@ def _expand_record_pairs(
 
 def count_record_pairs(
     ctx: PEContext,
-    records: list[Record],
+    records: RecordFrame | list[Record],
     local_xadj: np.ndarray,
     local_adj: np.ndarray,
     vlo: int,
@@ -153,7 +139,8 @@ def count_record_pairs(
     array with the local ``A(u)`` (Algorithm 2 lines 6-7 /
     Algorithm 3 lines 14-16).
     """
-    rxadj, radj, rec_idx, targets = _expand_record_pairs(ctx, records, vlo, vhi)
+    frame = as_frame(records)
+    rxadj, radj, rec_idx, targets = _expand_record_pairs(ctx, frame, vlo, vhi)
     if rec_idx.size == 0:
         return 0
     total = 0
@@ -169,7 +156,7 @@ def count_record_pairs(
 
 def record_pairs_elements(
     ctx: PEContext,
-    records: list[Record],
+    records: RecordFrame | list[Record],
     local_xadj: np.ndarray,
     local_adj: np.ndarray,
     vlo: int,
@@ -183,11 +170,12 @@ def record_pairs_elements(
     middle vertex and ``w`` the closing vertex.  Needed by the LCC
     extension, which must credit all three corners.
     """
-    rxadj, radj, rec_idx, targets = _expand_record_pairs(ctx, records, vlo, vhi)
-    vertices = np.fromiter((r.vertex for r in records), dtype=np.int64, count=len(records))
+    frame = as_frame(records)
+    rxadj, radj, rec_idx, targets = _expand_record_pairs(ctx, frame, vlo, vhi)
     if rec_idx.size == 0:
         e = np.empty(0, dtype=np.int64)
         return e, e.copy(), e.copy()
+    vertices = frame.vertices
     v_out, u_out, w_out = [], [], []
     for sl in chunked(rec_idx.size):
         lcat, lx = gather_blocks(rxadj, radj, rec_idx[sl])

@@ -22,12 +22,12 @@ import numpy as np
 
 from ..graphs.csr import CSRGraph
 from ..graphs.distributed import DistGraph
-from ..net.aggregation import BufferedMessageQueue, Record
+from ..net.aggregation import BufferedMessageQueue
 from ..net.comm import allreduce, alltoallv_dense
 from ..net.indirect import GridRouter
 from ..net.machine import PEContext
 from .edge_iterator import edge_iterator_per_vertex
-from .engine import EngineConfig, _surrogate_filter
+from .engine import EngineConfig, _post_cut_neighborhoods, _surrogate_filter
 from .intersect import batch_intersect_elements, gather_blocks
 from .kernels import chunked, record_pairs_elements
 from .preprocessing import OrientedLocalGraph, build_oriented, exchange_ghost_degrees
@@ -177,9 +177,10 @@ def lcc_program(
         dst_ranks = lg.partition.rank_of(c_dst) if c_dst.size else c_dst
         sends = _surrogate_filter(c_src, dst_ranks, enabled=config.surrogate)
         ctx.charge(c_src.size)
-        for slot, rank in zip(c_src[sends].tolist(), dst_ranks[sends].tolist()):
-            nbh = send_adj[send_xadj[slot] : send_xadj[slot + 1]]
-            router.post(rank, Record(int(vlo + slot), nbh))
+        _post_cut_neighborhoods(
+            router, send_xadj, send_adj, c_src, c_dst, dst_ranks, sends, vlo,
+            targeted=False,
+        )
         records = yield from router.finalize()
         rv, ru, rw = record_pairs_elements(
             ctx,

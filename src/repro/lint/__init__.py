@@ -2,8 +2,9 @@
 
 The machine's programming contract — collectives driven with ``yield
 from``, identical collective order on every PE, deterministic message
-order, explicit message costs — is unchecked by Python itself; this
-package enforces it with AST analysis (rules R1–R4, catalogued in
+order, explicit message costs, vectorized message hot paths — is
+unchecked by Python itself; this
+package enforces it with AST analysis (rules R1–R7, catalogued in
 :data:`~repro.lint.findings.RULES` and documented with examples in
 ``docs/SPMD_CONTRACT.md``).
 

@@ -16,7 +16,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.lint",
         description=(
             "Static checker for the SPMD protocol contract of the simulated "
-            "machine (rules R1-R6; see docs/SPMD_CONTRACT.md). Suppress a "
+            "machine (rules R1-R7; see docs/SPMD_CONTRACT.md). Suppress a "
             "deliberate violation with '# noqa: R<n>' on the offending line."
         ),
     )

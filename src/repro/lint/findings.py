@@ -35,6 +35,11 @@ RULES: dict[str, str] = {
         "'with' statement and carry a string-literal (rank-invariant) "
         "label, or the observability layer records nothing mergeable"
     ),
+    "R7": (
+        "per-record Record post inside a Python loop over unpacked "
+        "arrays — use the packed post_many(...) frame path, which "
+        "charges identical words without per-element interpreter cost"
+    ),
     "R0": "file could not be parsed",
 }
 

@@ -1,4 +1,4 @@
-"""AST rules enforcing the SPMD protocol contract (R1–R6).
+"""AST rules enforcing the SPMD protocol contract (R1–R7).
 
 The machine in :mod:`repro.net.machine` runs SPMD programs written as
 generators; its correctness contract (``docs/SPMD_CONTRACT.md``) cannot
@@ -42,6 +42,17 @@ R6
     merging and the phase profiler's buckets.  R6 therefore requires
     the call to be the context expression of a ``with`` item and its
     label to be a string literal.
+R7
+    The message hot path must stay vectorized: unpacking numpy arrays
+    element-wise (``.tolist()``, ``zip(a.tolist(), ...)``,
+    ``range(len(a))``, ``range(a.size)``) just to ``post`` one
+    :class:`~repro.net.frames.Record` per element rebuilds in Python
+    what ``post_many`` does in one packed
+    :class:`~repro.net.frames.RecordFrame` call — same contents, same
+    words charge, a fraction of the interpreter overhead.  Only plain
+    ``Record`` payloads are flagged: opaque per-destination objects
+    (e.g. ``AmqRecord`` Bloom filters) have no frameable array batch
+    and legitimately post one at a time.
 
 The rules are heuristic by design (no type inference); suppress a
 deliberate violation with ``# noqa: R<n>`` on the offending line.
@@ -143,6 +154,46 @@ def _is_ctx_recv(call: ast.Call) -> bool:
 
 def _is_send_call(call: ast.Call) -> bool:
     return isinstance(call.func, ast.Attribute) and call.func.attr == "send"
+
+
+def _is_record_ctor(node: ast.AST) -> bool:
+    """``Record(...)`` or ``<mod>.Record(...)`` — the frameable payload."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "Record"
+    return isinstance(func, ast.Attribute) and func.attr == "Record"
+
+
+def _array_derived_iter(expr: ast.AST) -> bool:
+    """True for iterables that unpack numpy arrays element by element.
+
+    Recognized shapes (R7): ``x.tolist()``, ``range(len(x))`` /
+    ``range(x.size)`` / ``range(x.shape[0])``, and ``zip`` /
+    ``enumerate`` / ``list`` / ``tuple`` / ``reversed`` wrapping any of
+    those.
+    """
+    if not isinstance(expr, ast.Call):
+        return False
+    func = expr.func
+    if isinstance(func, ast.Attribute) and func.attr == "tolist":
+        return True
+    if isinstance(func, ast.Name):
+        if func.id == "range" and expr.args:
+            bound = expr.args[-1] if len(expr.args) == 1 else expr.args[1]
+            if (
+                isinstance(bound, ast.Call)
+                and isinstance(bound.func, ast.Name)
+                and bound.func.id == "len"
+            ):
+                return True
+            for n in ast.walk(bound):
+                if isinstance(n, ast.Attribute) and n.attr in ("size", "shape"):
+                    return True
+        if func.id in ("zip", "enumerate", "list", "tuple", "reversed"):
+            return any(_array_derived_iter(a) for a in expr.args)
+    return False
 
 
 def _walk_no_nested_functions(nodes):
@@ -298,6 +349,12 @@ class _Checker(ast.NodeVisitor):
                 f"{kind} iteration order, not the program; iterate "
                 f"sorted(...) instead",
             )
+        if (
+            self._fn is not None
+            and self._fn.is_spmd
+            and _array_derived_iter(node.iter)
+        ):
+            self._check_r7(node)
         self.visit(node.iter)
         self.visit(node.target)
         dependent = self._mentions_rank(node.iter)
@@ -336,6 +393,47 @@ class _Checker(ast.NodeVisitor):
             if isinstance(n, ast.Call) and _is_send_call(n):
                 return True
         return False
+
+    # -- R7: per-record posting over unpacked arrays ---------------------
+    def _check_r7(self, loop: ast.For) -> None:
+        body_nodes = list(_walk_no_nested_functions(loop.body))
+        # Loop-local names bound to a Record(...) construction.
+        record_names = {
+            t.id
+            for n in body_nodes
+            if isinstance(n, ast.Assign) and _is_record_ctor(n.value)
+            for t in n.targets
+            if isinstance(t, ast.Name)
+        }
+
+        def payload_is_record(arg: ast.AST) -> bool:
+            for n in ast.walk(arg):
+                if _is_record_ctor(n):
+                    return True
+                if isinstance(n, ast.Name) and n.id in record_names:
+                    return True
+            return False
+
+        for n in body_nodes:
+            if not (
+                isinstance(n, ast.Call)
+                and isinstance(n.func, ast.Attribute)
+                and n.func.attr == "post"
+            ):
+                continue
+            if getattr(n, "_repro_r7", False):
+                continue  # already reported under an enclosing loop
+            if any(payload_is_record(a) for a in n.args):
+                n._repro_r7 = True  # type: ignore[attr-defined]
+                self._emit(
+                    n,
+                    "R7",
+                    "per-record '.post(Record(...))' in a Python loop over "
+                    "unpacked arrays — pack the batch and make one "
+                    "'post_many(dest_ranks, vertices, targets, xadj, "
+                    "neighbors)' call instead (identical contents and "
+                    "words charge)",
+                )
 
     # -- R1 / R2 / R4 at call sites ------------------------------------
     def visit_Call(self, node: ast.Call) -> None:

@@ -14,7 +14,15 @@
   dedup), costs charged to the alpha-beta model.
 """
 
-from .aggregation import BufferedMessageQueue, Record, unpack_records
+from .aggregation import BufferedMessageQueue, unpack_records
+from .frames import (
+    ForwardFrame,
+    FrameBuilder,
+    Record,
+    RecordFrame,
+    flatten_records,
+    merge_frames,
+)
 from .comm import (
     allreduce,
     alltoallv_dense,
@@ -51,6 +59,11 @@ from .trace import SpanRecord, TraceEvent, Tracer, render_timeline
 __all__ = [
     "BufferedMessageQueue",
     "Record",
+    "RecordFrame",
+    "ForwardFrame",
+    "FrameBuilder",
+    "merge_frames",
+    "flatten_records",
     "unpack_records",
     "allreduce",
     "alltoallv_dense",

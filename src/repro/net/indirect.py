@@ -30,7 +30,10 @@ import math
 from dataclasses import dataclass
 from typing import Generator
 
+import numpy as np
+
 from .aggregation import BufferedMessageQueue, Record
+from .frames import ForwardFrame, RecordFrame
 from .machine import PEContext
 from .messages import Tag
 
@@ -123,6 +126,11 @@ class GridRouter:
         self._col_tag: Tag = ("grid-col", tag)
         self._row_queue = BufferedMessageQueue(ctx, self._row_tag, threshold_words)
         self._col_queue = BufferedMessageQueue(ctx, self._col_tag, threshold_words)
+        self._proxy_of = np.fromiter(
+            (self.grid.proxy(ctx.rank, d) for d in range(ctx.num_pes)),
+            dtype=np.int64,
+            count=ctx.num_pes,
+        )
 
     @property
     def records_posted(self) -> int:
@@ -140,7 +148,71 @@ class GridRouter:
         else:
             self._row_queue.post(hop, ForwardRecord(final_dest=dest, record=record))
 
-    def finalize(self) -> Generator[None, None, list[Record]]:
+    def post_many(
+        self,
+        dest_ranks: np.ndarray,
+        vertices: np.ndarray,
+        targets: np.ndarray,
+        xadj: np.ndarray,
+        neighbors: np.ndarray,
+    ) -> None:
+        """Route a whole record batch (struct-of-arrays form) at once.
+
+        Splits the batch by first hop: records whose proxy is their
+        destination go straight on the column queue; the rest travel
+        the row queue as a :class:`~repro.net.frames.ForwardFrame`
+        (one routing word per record, like :class:`ForwardRecord`).
+        """
+        dest_ranks = np.asarray(dest_ranks, dtype=np.int64)
+        if dest_ranks.size == 0:
+            return
+        frame = RecordFrame(
+            np.asarray(vertices, dtype=np.int64),
+            np.asarray(targets, dtype=np.int64),
+            np.asarray(xadj, dtype=np.int64),
+            np.asarray(neighbors, dtype=np.int64),
+        )
+        hops = self._proxy_of[dest_ranks]
+        direct = hops == dest_ranks
+        idx = np.flatnonzero(direct)
+        if idx.size:
+            sub = frame.select(idx)
+            self._col_queue.post_many(
+                dest_ranks[idx], sub.vertices, sub.targets, sub.xadj, sub.neighbors
+            )
+        idx = np.flatnonzero(~direct)
+        if idx.size:
+            sub = frame.select(idx)
+            self._row_queue.post_many(
+                hops[idx],
+                sub.vertices,
+                sub.targets,
+                sub.xadj,
+                sub.neighbors,
+                final_dests=dest_ranks[idx],
+            )
+
+    def post_items(self, dest_ranks, records) -> None:
+        """Route pre-built record objects, one per destination entry."""
+        for dest, record in zip(dest_ranks, records):
+            self.post(int(dest), record)
+
+    def _repost(self, fwd: ForwardFrame) -> None:
+        """Proxy step: re-post a forwarded frame toward final destinations."""
+        final = fwd.final_dests
+        mine = np.flatnonzero(final == self.ctx.rank)
+        if mine.size:
+            # Already at the destination: hand back locally at zero
+            # wire cost (the frame analogue of appending fwd.record).
+            self._col_queue._local.append(fwd.frame.select(mine))
+        rest = np.flatnonzero(final != self.ctx.rank)
+        if rest.size:
+            sub = fwd.frame.select(rest)
+            self._col_queue.post_many(
+                final[rest], sub.vertices, sub.targets, sub.xadj, sub.neighbors
+            )
+
+    def finalize(self) -> Generator[None, None, RecordFrame | list]:
         """Flush, forward at proxies, and return records for this PE.
 
         Collective.  Two aggregation rounds: row flush + barrier, then
@@ -150,12 +222,15 @@ class GridRouter:
         with self.ctx.span("grid-row-hop"):
             row_records = yield from self._row_queue.finalize()
             for fwd in row_records:
-                if not isinstance(fwd, ForwardRecord):
-                    raise TypeError("row hop must carry ForwardRecord")
-                if fwd.final_dest == self.ctx.rank:
-                    self._col_queue._local.append(fwd.record)
+                if isinstance(fwd, ForwardFrame):
+                    self._repost(fwd)
+                elif isinstance(fwd, ForwardRecord):
+                    if fwd.final_dest == self.ctx.rank:
+                        self._col_queue._local.append(fwd.record)
+                    else:
+                        self._col_queue.post(fwd.final_dest, fwd.record)
                 else:
-                    self._col_queue.post(fwd.final_dest, fwd.record)
+                    raise TypeError("row hop must carry ForwardRecord")
         with self.ctx.span("grid-col-hop"):
             records = yield from self._col_queue.finalize()
         return records

@@ -18,6 +18,9 @@ Design
   from the simulation: when a dissemination barrier completes, every
   pre-barrier ``put`` has fully reached the destination pipe and a
   non-blocking drain is complete.
+* Hot-path payloads are :class:`~repro.net.frames.RecordFrame`
+  batches, so a flushed buffer pickles as four contiguous arrays
+  rather than one dataclass per record (see ``docs/PERFORMANCE.md``).
 * Each worker receives only *its own* local graph view (pickled once),
   exactly the distributed-memory data layout; the full
   :class:`~repro.graphs.distributed.DistGraph` never leaves the

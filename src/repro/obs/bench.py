@@ -68,8 +68,9 @@ class BenchRecord:
     max_messages: int | None = None
     #: Aggregation-buffer high-water mark (words) over PEs.
     peak_words: int | None = None
-    #: Python wall-clock seconds of the experiment body (not gated).
-    wall_time: float | None = None
+    #: Python wall-clock seconds of the experiment body (not gated,
+    #: excluded from :func:`diff_records` — it depends on the host).
+    wall_seconds: float | None = None
     #: Triangle count, when the benchmark produced one (sanity anchor).
     triangles: int | None = None
 
@@ -88,7 +89,7 @@ class BenchRecord:
             "bottleneck_volume": self.bottleneck_volume,
             "max_messages": self.max_messages,
             "peak_words": self.peak_words,
-            "wall_time": self.wall_time,
+            "wall_seconds": self.wall_seconds,
             "triangles": self.triangles,
         }
 
@@ -103,13 +104,14 @@ class BenchRecord:
             bottleneck_volume=data.get("bottleneck_volume"),
             max_messages=data.get("max_messages"),
             peak_words=data.get("peak_words"),
-            wall_time=data.get("wall_time"),
+            # Legacy files (pre-rename) wrote "wall_time".
+            wall_seconds=data.get("wall_seconds", data.get("wall_time")),
             triangles=data.get("triangles"),
         )
 
 
 def record_from_run(
-    name: str, result: "RunResult", *, wall_time: float | None = None, **params
+    name: str, result: "RunResult", *, wall_seconds: float | None = None, **params
 ) -> BenchRecord:
     """Normalize a :class:`~repro.analysis.runner.RunResult` row.
 
@@ -120,7 +122,7 @@ def record_from_run(
     params = {"algorithm": result.algorithm, "p": result.num_pes, **params}
     if not result.ok:
         params["failed"] = result.failed
-        return BenchRecord(name=name, params=params, wall_time=wall_time)
+        return BenchRecord(name=name, params=params, wall_seconds=wall_seconds)
     return BenchRecord(
         name=name,
         params=params,
@@ -129,7 +131,7 @@ def record_from_run(
         bottleneck_volume=result.bottleneck_volume,
         max_messages=result.max_messages,
         peak_words=result.peak_buffer_words,
-        wall_time=wall_time,
+        wall_seconds=wall_seconds,
         triangles=result.triangles,
     )
 
@@ -289,7 +291,7 @@ def smoke_suite(*, scale_time: float = 1.0) -> list[BenchRecord]:
             res = run_algorithm(dist, algo)
             wall = time.perf_counter() - t0
             rec = record_from_run(
-                f"smoke:{graph_name}", res, wall_time=wall, graph=graph_name, seed=1
+                f"smoke:{graph_name}", res, wall_seconds=wall, graph=graph_name, seed=1
             )
             if rec.simulated_time is not None and scale_time != 1.0:
                 rec = BenchRecord(
@@ -300,7 +302,7 @@ def smoke_suite(*, scale_time: float = 1.0) -> list[BenchRecord]:
                     bottleneck_volume=rec.bottleneck_volume,
                     max_messages=rec.max_messages,
                     peak_words=rec.peak_words,
-                    wall_time=rec.wall_time,
+                    wall_seconds=rec.wall_seconds,
                     triangles=rec.triangles,
                 )
             records.append(rec)

@@ -1,0 +1,260 @@
+"""Property-style equivalence suite for the packed frame wire format.
+
+The contract under test (``docs/PERFORMANCE.md``): the frame path
+(``post_many`` + :class:`RecordFrame` receive) is observationally
+identical to the legacy path (one ``post(Record(...))`` per record) —
+same received contents, same charged words, same flush boundaries, same
+kernel totals — on the simulated :class:`Machine` and on the real
+process backend :class:`ProcessMachine`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.net import (
+    HEADER_WORDS,
+    BufferedMessageQueue,
+    Machine,
+    Record,
+    RecordFrame,
+    flatten_records,
+    merge_frames,
+)
+from repro.net.frames import BROADCAST, FrameBuilder
+from repro.net.parallel import ProcessMachine
+
+
+def _random_batch(rng, num_pes, n):
+    """A messy record batch: mixed shapes, empty neighborhoods, self posts."""
+    dests = rng.integers(0, num_pes, size=n).astype(np.int64)
+    vertices = rng.integers(0, 500, size=n).astype(np.int64)
+    # Roughly half broadcast (-1), half targeted.
+    targets = np.where(
+        rng.random(n) < 0.5, BROADCAST, rng.integers(0, 500, size=n)
+    ).astype(np.int64)
+    sizes = rng.integers(0, 7, size=n).astype(np.int64)  # includes empty
+    xadj = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(sizes, out=xadj[1:])
+    neighbors = rng.integers(0, 1000, size=int(xadj[-1])).astype(np.int64)
+    return dests, vertices, targets, xadj, neighbors
+
+
+def _records_of(dests, vertices, targets, xadj, neighbors):
+    out = []
+    for i in range(dests.size):
+        t = int(targets[i])
+        out.append(
+            (
+                int(dests[i]),
+                Record(
+                    int(vertices[i]),
+                    neighbors[xadj[i] : xadj[i + 1]],
+                    target=None if t == BROADCAST else t,
+                ),
+            )
+        )
+    return out
+
+
+def _canon(received):
+    """Order-preserving canonical form of a received record sequence."""
+    out = []
+    for r in received:
+        t = BROADCAST if r.target is None else int(r.target)
+        out.append((int(r.vertex), t, tuple(r.neighbors.tolist())))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Pure frame properties (no machine).
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_frame_words_equal_record_word_sum(seed):
+    rng = np.random.default_rng(seed)
+    _, vertices, targets, xadj, neighbors = _random_batch(rng, 4, 40)
+    frame = RecordFrame(vertices, targets, xadj, neighbors)
+    records = frame.to_records()
+    assert frame.words == sum(r.words for r in records)
+    assert frame.record_words().tolist() == [r.words for r in records]
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_from_records_roundtrip_and_select(seed):
+    rng = np.random.default_rng(seed)
+    _, vertices, targets, xadj, neighbors = _random_batch(rng, 4, 25)
+    frame = RecordFrame(vertices, targets, xadj, neighbors)
+    again = RecordFrame.from_records(frame.to_records())
+    assert _canon(again) == _canon(frame)
+    idx = rng.permutation(len(frame))[:10]
+    sub = frame.select(np.sort(idx))
+    expected = [_canon(frame)[i] for i in np.sort(idx)]
+    assert _canon(sub) == expected
+    assert sub.words == sum(frame.record_words()[np.sort(idx)])
+
+
+def test_merge_and_flatten_agree():
+    rng = np.random.default_rng(7)
+    frames = []
+    for _ in range(3):
+        _, v, t, x, a = _random_batch(rng, 4, 10)
+        frames.append(RecordFrame(v, t, x, a))
+    merged = merge_frames(frames)
+    flat = flatten_records(frames)
+    assert _canon(merged) == _canon(flat)
+    assert merged.words == sum(f.words for f in frames)
+
+
+def test_builder_matches_from_records():
+    rng = np.random.default_rng(11)
+    _, vertices, targets, xadj, neighbors = _random_batch(rng, 4, 20)
+    frame = RecordFrame(vertices, targets, xadj, neighbors)
+    b = FrameBuilder()
+    for rec in frame:
+        b.append_record(rec)
+    assert _canon(b.build()) == _canon(frame)
+
+
+# ---------------------------------------------------------------------------
+# Machine equivalence: post_many vs one post() per Record.
+# ---------------------------------------------------------------------------
+
+#: Thresholds covering no aggregation, frequent mid-run flushes, and a
+#: single big flush at finalize.
+THRESHOLDS = [0, 25, 10_000]
+
+
+def exchange_program(ctx, seed, threshold, mode, n=60):
+    """Post a pseudo-random batch, legacy- or frame-style, and drain."""
+    rng = np.random.default_rng(seed * 1000 + ctx.rank)
+    dests, vertices, targets, xadj, neighbors = _random_batch(
+        rng, ctx.num_pes, n
+    )
+    q = BufferedMessageQueue(ctx, "t", threshold_words=threshold)
+    if mode == "frames":
+        q.post_many(dests, vertices, targets, xadj, neighbors)
+    else:
+        for dest, rec in _records_of(dests, vertices, targets, xadj, neighbors):
+            q.post(dest, rec)
+    flushes = q.flushes
+    received = yield from q.finalize()
+    return (flushes, _canon(received), q.records_posted)
+
+
+@pytest.mark.parametrize("threshold", THRESHOLDS)
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_machine_frame_path_is_bit_identical_to_legacy(seed, threshold):
+    legacy = Machine(4).run(exchange_program, seed, threshold, "legacy")
+    frames = Machine(4).run(exchange_program, seed, threshold, "frames")
+    # Same received contents in the same order, same flush boundaries,
+    # same per-record bookkeeping.
+    assert frames.values == legacy.values
+    # Same charged communication: words, message count, simulated time.
+    for fm, lm in zip(frames.metrics.per_pe, legacy.metrics.per_pe):
+        assert fm.words_sent == lm.words_sent
+        assert fm.messages_sent == lm.messages_sent
+        assert fm.peak_buffer_words == lm.peak_buffer_words
+    assert frames.time == legacy.time
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+def test_machine_equivalence_with_empty_and_self_only_batches(seed):
+    def prog(ctx, mode):
+        q = BufferedMessageQueue(ctx, "t", threshold_words=50)
+        z = np.empty(0, dtype=np.int64)
+        if mode == "frames":
+            # Empty batch, then a self-post-only batch.
+            q.post_many(z, z, z, np.zeros(1, dtype=np.int64), z)
+            q.post_many(
+                np.array([ctx.rank], dtype=np.int64),
+                np.array([9], dtype=np.int64),
+                np.array([BROADCAST], dtype=np.int64),
+                np.array([0, 2], dtype=np.int64),
+                np.array([4, 5], dtype=np.int64),
+            )
+        else:
+            q.post(ctx.rank, Record(9, np.array([4, 5], dtype=np.int64)))
+        received = yield from q.finalize()
+        return _canon(received)
+
+    legacy = Machine(3).run(prog, "legacy")
+    frames = Machine(3).run(prog, "frames")
+    assert frames.values == legacy.values == [[(9, BROADCAST, (4, 5))]] * 3
+
+
+# ---------------------------------------------------------------------------
+# Kernel totals: a frame and its record list count identically.
+# ---------------------------------------------------------------------------
+
+
+def _sorted_batch(rng, num_pes, n):
+    """Batch with sorted-unique neighborhoods (kernel precondition)."""
+    dests, vertices, targets, xadj, _ = _random_batch(rng, num_pes, n)
+    sizes = np.diff(xadj)
+    chunks = [
+        np.sort(rng.choice(100, size=int(s), replace=False)).astype(np.int64)
+        for s in sizes
+    ]
+    neighbors = (
+        np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+    )
+    # Clamp targets into the receiver's local window [0, 50).
+    targets = np.where(targets == BROADCAST, BROADCAST, targets % 50)
+    return dests, vertices, targets, xadj, neighbors
+
+
+@pytest.mark.parametrize("seed", [5, 6, 7])
+def test_count_record_pairs_frame_equals_record_list(seed):
+    from repro.core.kernels import count_record_pairs
+
+    rng = np.random.default_rng(seed)
+    _, vertices, targets, xadj, neighbors = _sorted_batch(rng, 4, 30)
+    frame = RecordFrame(vertices, targets, xadj, neighbors)
+    # A local CSR over vertices [0, 50): each has a sorted neighborhood.
+    lx = np.zeros(51, dtype=np.int64)
+    np.cumsum(rng.integers(0, 6, size=50), out=lx[1:])
+    ladj = np.sort(rng.integers(0, 100, size=int(lx[-1]))).astype(np.int64)
+
+    def prog(ctx, records):
+        total = count_record_pairs(ctx, records, lx, ladj, 0, 50, 101)
+        charged = ctx.metrics.local_ops
+        return total, charged
+        yield  # pragma: no cover
+
+    by_frame = Machine(1).run(prog, frame)
+    by_list = Machine(1).run(prog, frame.to_records())
+    assert by_frame.values == by_list.values
+    assert by_frame.time == by_list.time
+
+
+# ---------------------------------------------------------------------------
+# ProcessMachine: the frame path survives real pickling across processes.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("mode", ["legacy", "frames"])
+def test_process_machine_exchange_matches_simulator(mode):
+    sim = Machine(2).run(exchange_program, 4, 25, mode, 30)
+    par = ProcessMachine(2).run(exchange_program, 4, 25, mode, 30)
+    # Contents are set-identical per PE (real delivery may interleave
+    # sources differently); flush counts and words are exact.
+    for (sf, sc, sp), (pf, pc, pp) in zip(sim.values, par.values):
+        assert sf == pf
+        assert sp == pp
+        assert sorted(sc) == sorted(pc)
+    for sm, pm in zip(sim.metrics.per_pe, par.metrics.per_pe):
+        assert sm.words_sent == pm.words_sent
+        assert sm.messages_sent == pm.messages_sent
+
+
+def test_process_machine_frame_path_matches_legacy_words():
+    legacy = ProcessMachine(2).run(exchange_program, 9, 25, "legacy", 30)
+    frames = ProcessMachine(2).run(exchange_program, 9, 25, "frames", 30)
+    for (lf, lc, lp), (ff, fc, fp) in zip(legacy.values, frames.values):
+        assert lf == ff
+        assert lp == fp
+        assert sorted(lc) == sorted(fc)
+    for lm, fm in zip(legacy.metrics.per_pe, frames.metrics.per_pe):
+        assert lm.words_sent == fm.words_sent
+        assert lm.messages_sent == fm.messages_sent

@@ -49,6 +49,13 @@ def prog(ctx):
     ctx.span("local")
     yield
 """,
+    "R7": """
+def prog(ctx):
+    for v, nbh in zip(vertices.tolist(), neighborhoods):
+        router.post(1, Record(vertex=v, neighbors=nbh))
+        ctx.charge(1)
+    yield
+""",
 }
 
 GOOD = {
@@ -84,6 +91,12 @@ def prog(ctx):
 def prog(ctx):
     with ctx.span("local"):
         yield
+""",
+    "R7": """
+def prog(ctx):
+    router.post_many(dst_ranks, vertices, targets, xadj, neighbors)
+    ctx.charge(1)
+    yield
 """,
 }
 
@@ -191,7 +204,7 @@ def test_finding_format_is_compiler_style():
 
 
 def test_rule_catalogue_is_complete():
-    assert set(RULES) == {"R0", "R1", "R2", "R3", "R4", "R5", "R6"}
+    assert set(RULES) == {"R0", "R1", "R2", "R3", "R4", "R5", "R6", "R7"}
 
 
 def test_r5_only_applies_to_marked_programs():
@@ -269,6 +282,77 @@ def test_r6_accepts_with_as_binding():
 def prog(ctx):
     with ctx.span("contraction") as s:
         yield
+"""
+    assert lint_source(src) == []
+
+
+def test_r7_flags_all_array_unpacking_idioms():
+    # A Record bound to a name inside the loop body counts as the payload.
+    named = """
+def prog(ctx):
+    for i in range(len(vertices)):
+        rec = Record(vertex=vertices[i], neighbors=adj[i])
+        queue.post(int(dst[i]), rec)
+        ctx.charge(1)
+    yield
+"""
+    assert [f.code for f in lint_source(named)] == ["R7"]
+    sized = """
+def prog(ctx):
+    for i in range(dst.size):
+        queue.post(int(dst[i]), net.Record(vertex=v[i], neighbors=a[i]))
+        ctx.charge(1)
+    yield
+"""
+    assert [f.code for f in lint_source(sized)] == ["R7"]
+    enumerated = """
+def prog(ctx):
+    for i, v in enumerate(vs.tolist()):
+        queue.post(1, Record(vertex=v, neighbors=adj[i]))
+        ctx.charge(1)
+    yield
+"""
+    assert [f.code for f in lint_source(enumerated)] == ["R7"]
+
+
+def test_r7_exempts_opaque_payloads_and_non_spmd_helpers():
+    # AMQ-style loops post an opaque per-destination object (a Bloom
+    # filter has no frameable array batch) — not flagged.
+    amq = """
+def prog(ctx):
+    for start, end in zip(run_starts.tolist(), run_ends.tolist()):
+        rec = AmqRecord(vertex=1, targets=c_dst[start:end], amq=amq)
+        router.post(1, rec)
+        ctx.charge(1)
+    yield
+"""
+    assert lint_source(amq) == []
+    # The net-layer post_items fan-out helper never touches ctx, so it
+    # is outside SPMD scope and R7 does not apply.
+    helper = """
+def post_items(self, dest_ranks, records):
+    for dest, record in zip(dest_ranks.tolist(), records):
+        self.post(int(dest), record)
+"""
+    assert lint_source(helper) == []
+    # Loops over plain Python iterables are fine even with Record posts.
+    plain = """
+def prog(ctx):
+    for dest, rec in pending:
+        queue.post(dest, Record(vertex=rec[0], neighbors=rec[1]))
+        ctx.charge(1)
+    yield
+"""
+    assert lint_source(plain) == []
+
+
+def test_r7_noqa_escape():
+    src = """
+def prog(ctx):
+    for v in vs.tolist():
+        queue.post(1, Record(vertex=v, neighbors=empty))  # noqa: R7
+        ctx.charge(1)
+    yield
 """
     assert lint_source(src) == []
 

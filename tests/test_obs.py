@@ -189,7 +189,7 @@ def test_csv_exports(ditric_run):
 # ----------------------------------------------------------------------
 def test_bench_record_round_trip(ditric_run, tmp_path):
     res, _ = ditric_run
-    rec = record_from_run("unit:gnm", res, wall_time=0.5, graph="gnm", seed=3)
+    rec = record_from_run("unit:gnm", res, wall_seconds=0.5, graph="gnm", seed=3)
     assert rec.simulated_time == res.time
     assert rec.params["algorithm"] == "ditric"
     path = write_bench_json([rec], tmp_path / "BENCH_unit.json")
@@ -242,7 +242,7 @@ def test_diff_gate_ignores_unmatched_and_wall_only_records():
     base = [BenchRecord(name="old", params={}, simulated_time=1.0)]
     current = [
         BenchRecord(name="new", params={}, simulated_time=99.0),
-        BenchRecord(name="old", params={}, wall_time=50.0),  # no simulated time
+        BenchRecord(name="old", params={}, wall_seconds=50.0),  # no simulated time
     ]
     assert diff_records(base, current) == []
 
