@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-smoke chaos examples report clean
+.PHONY: install test lint lint-flow bench bench-smoke chaos examples report clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -16,7 +16,7 @@ chaos:
 	PYTHONPATH=src $(PYTHON) -m repro chaos --seeds 3 --drop-rates 0,0.05 \
 		--algorithms ditric,cetric
 
-# ruff (style) + repro.lint (SPMD protocol rules R1-R6, see
+# ruff (style) + repro.lint (SPMD protocol rules R1-R12, see
 # docs/SPMD_CONTRACT.md).  ruff is optional locally; CI installs it.
 lint:
 	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \
@@ -25,6 +25,12 @@ lint:
 		echo "ruff not installed; skipping style checks"; \
 	fi
 	PYTHONPATH=src $(PYTHON) -m repro.lint src
+
+# The whole-program dataflow rules (R8-R12) in strict mode against the
+# committed baseline: fails on new findings AND on stale baseline
+# entries (docs/STATIC_ANALYSIS.md).
+lint-flow:
+	PYTHONPATH=src $(PYTHON) -m repro.lint --strict --baseline lint-baseline.json src
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,51 @@
+"""Wall-clock budget for the whole-program dataflow analyzer.
+
+The R8–R12 gate runs on every CI push over the full ``src`` tree
+(docs/STATIC_ANALYSIS.md), so its cost is developer-facing latency.
+This benchmark measures a complete ``lint_paths`` run — parse, lexical
+rules, call graph, CFG/taint analysis — and enforces a hard budget so
+the analyzer cannot quietly become the slowest job in CI: the bounded
+path enumeration in ``flow/cfg.py`` is exactly the kind of code where
+an innocent-looking change goes exponential.
+"""
+
+from pathlib import Path
+
+import harness
+
+from repro.lint import lint_paths
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src"
+
+#: Generous ceiling for one full-src whole-program analysis.  A typical
+#: run is well under a second; tripping this means something went
+#: superlinear, not that the machine was slow.
+WALL_BUDGET_SECONDS = 15.0
+
+
+def test_bench_lint_flow_full_src(benchmark):
+    findings = benchmark.pedantic(
+        lambda: lint_paths([SRC_ROOT]), rounds=3, warmup_rounds=1
+    )
+    assert findings == []  # the gate this speed exists to serve
+    rec = harness.emit_wall(
+        "lint:flow_full_src", benchmark, files=len(list(SRC_ROOT.rglob("*.py")))
+    )
+    # wall_seconds is None under --benchmark-disable; the budget only
+    # binds when a real measurement exists.
+    if rec.wall_seconds is not None:
+        assert rec.wall_seconds < WALL_BUDGET_SECONDS, (
+            f"whole-program lint took {rec.wall_seconds:.2f}s over "
+            f"{SRC_ROOT} — budget is {WALL_BUDGET_SECONDS}s; did path "
+            f"enumeration or the summary fixpoint go superlinear?"
+        )
+
+
+def test_bench_lint_lexical_only(benchmark):
+    # The R1-R7 layer alone, for attributing regressions: if the full
+    # run blows the budget but this stays flat, the flow layer did it.
+    findings = benchmark.pedantic(
+        lambda: lint_paths([SRC_ROOT], flow=False), rounds=3, warmup_rounds=1
+    )
+    assert findings == []
+    harness.emit_wall("lint:lexical_full_src", benchmark)

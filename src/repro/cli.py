@@ -216,6 +216,16 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     argv = list(args.paths)
     if args.list_rules:
         argv.append("--list-rules")
+    if args.strict:
+        argv.append("--strict")
+    if args.no_flow:
+        argv.append("--no-flow")
+    if args.format != "text":
+        argv.extend(["--format", args.format])
+    if args.baseline:
+        argv.extend(["--baseline", args.baseline])
+    if args.update_baseline:
+        argv.extend(["--update-baseline", args.update_baseline])
     return lint_main(argv)
 
 
@@ -391,9 +401,18 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("--scale", type=float, default=1.0)
     d.set_defaults(func=_cmd_datasets)
 
-    li = sub.add_parser("lint", help="static SPMD protocol checks (R1-R6)")
+    li = sub.add_parser("lint", help="static SPMD protocol checks (R1-R12)")
     li.add_argument("paths", nargs="*", default=["src"], help="files/dirs to lint")
     li.add_argument("--list-rules", action="store_true", help="print rule catalogue")
+    li.add_argument("--strict", action="store_true", help="fail on stale baseline entries too")
+    li.add_argument("--no-flow", action="store_true", help="skip dataflow rules R8-R12")
+    li.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text", help="output format"
+    )
+    li.add_argument("--baseline", metavar="FILE", help="filter findings in this baseline")
+    li.add_argument(
+        "--update-baseline", metavar="FILE", help="rewrite FILE from current findings"
+    )
     li.set_defaults(func=_cmd_lint)
 
     ch = sub.add_parser(

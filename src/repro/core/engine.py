@@ -206,7 +206,7 @@ def counting_program(
     bound = dist.num_vertices + 1
 
     snap = ctx.restore("local")
-    if snap is None:
+    if snap is None:  # noqa: R8 -- restore() replays a globally consistent snapshot: the machine checkpoints all PEs at the same barrier, so every rank sees the same None-or-snapshot and takes the same arm
         with ctx.phase("preprocessing"):
             yield from exchange_ghost_degrees(ctx, lg, mode=config.degree_exchange)
             og = build_oriented(ctx, lg, with_ghosts=config.contraction)

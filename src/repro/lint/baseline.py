@@ -1,0 +1,84 @@
+"""Committed finding baselines: accept known findings, flag stale ones.
+
+A baseline file records fingerprints of findings a team has reviewed
+and chosen to carry (typically while burning down a newly introduced
+rule).  Fingerprints hash ``path + code + message`` — deliberately not
+the line number, so re-formatting or moving code does not invalidate
+an entry — and the workflow is:
+
+* ``--update-baseline`` writes the current findings to the file;
+* ``--baseline FILE`` filters matching findings from the report;
+* entries that no longer match anything are *stale*; ``--strict``
+  turns stale entries into a failure so fixed findings cannot keep
+  haunting the baseline (CI runs the strict form).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from .findings import Finding
+
+__all__ = ["fingerprint", "load_baseline", "write_baseline", "apply_baseline"]
+
+_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    """Line-number-free identity of a finding (move-tolerant)."""
+    blob = f"{finding.path}\t{finding.code}\t{finding.message}".encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def load_baseline(path: str | Path) -> dict[str, dict]:
+    """Fingerprint -> entry map from a baseline file."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if doc.get("version") != _VERSION:
+        raise ValueError(f"unsupported baseline version: {doc.get('version')!r}")
+    return {e["fingerprint"]: e for e in doc.get("suppressions", [])}
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> int:
+    """Write the findings as a fresh baseline; returns the entry count."""
+    entries = [
+        {
+            "fingerprint": fingerprint(f),
+            "code": f.code,
+            "path": f.path,
+            "message": f.message,
+        }
+        for f in findings
+    ]
+    # One entry per fingerprint, stable order for clean diffs.
+    unique = {e["fingerprint"]: e for e in entries}
+    doc = {
+        "version": _VERSION,
+        "suppressions": sorted(
+            unique.values(), key=lambda e: (e["path"], e["code"], e["fingerprint"])
+        ),
+    }
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return len(unique)
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: dict[str, dict]
+) -> tuple[list[Finding], list[dict]]:
+    """Split findings against a baseline.
+
+    Returns ``(new_findings, stale_entries)``: findings whose
+    fingerprint is not in the baseline, and baseline entries that
+    matched nothing this run (candidates for deletion).
+    """
+    used: set[str] = set()
+    new: list[Finding] = []
+    for f in findings:
+        fp = fingerprint(f)
+        if fp in baseline:
+            used.add(fp)
+        else:
+            new.append(f)
+    stale = [e for fp, e in sorted(baseline.items()) if fp not in used]
+    return new, stale

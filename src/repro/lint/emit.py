@@ -1,0 +1,91 @@
+"""Machine-readable finding emitters: JSON and SARIF 2.1.0.
+
+Both formats are byte-deterministic for a given finding list (sorted
+keys, no timestamps, no absolute environment paths), so CI can diff
+them and the determinism test can assert byte-identical output across
+runs.  The SARIF document is the minimal profile GitHub code scanning
+accepts: one run, one driver, rule metadata from :data:`RULES`, one
+result per finding with a physical location.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .findings import RULES, Finding
+
+__all__ = ["to_text", "to_json", "to_sarif"]
+
+
+def to_text(findings: list[Finding]) -> str:
+    """The compiler-style one-line-per-finding rendering."""
+    return "\n".join(f.format() for f in findings)
+
+
+def to_json(findings: list[Finding]) -> str:
+    """A stable JSON document: ``{"findings": [...], "count": n}``."""
+    doc = {
+        "count": len(findings),
+        "findings": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "code": f.code,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def _sarif_uri(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def to_sarif(findings: list[Finding]) -> str:
+    """A SARIF 2.1.0 document (the shape GitHub annotations consume)."""
+    doc = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.lint",
+                        "informationUri": "docs/STATIC_ANALYSIS.md",
+                        "rules": [
+                            {
+                                "id": code,
+                                "shortDescription": {"text": text},
+                            }
+                            for code, text in sorted(RULES.items())
+                        ],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": f.code,
+                        "level": "error",
+                        "message": {"text": f.message},
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {
+                                        "uri": _sarif_uri(f.path)
+                                    },
+                                    "region": {
+                                        "startLine": f.line,
+                                        "startColumn": f.col,
+                                    },
+                                }
+                            }
+                        ],
+                    }
+                    for f in findings
+                ],
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["Finding", "RULES"]
+__all__ = ["Finding", "RULES", "FLOW_CODES"]
 
 #: Rule code -> one-line description (see ``docs/SPMD_CONTRACT.md`` for
 #: the rationale and bad/good examples of each).
@@ -40,8 +40,41 @@ RULES: dict[str, str] = {
         "arrays — use the packed post_many(...) frame path, which "
         "charges identical words without per-element interpreter cost"
     ),
-    "R0": "file could not be parsed",
+    "R8": (
+        "collective sequence can diverge across ranks (static deadlock): "
+        "a rank-dependent branch, loop trip count, or early return makes "
+        "PEs enter different collectives — proven over the CFG and call "
+        "graph, including collectives reached through callees"
+    ),
+    "R9": (
+        "rank-tainted branch guards divergent collectives: the condition "
+        "is derived from ctx.rank, received data, or checkpoint replay "
+        "through dataflow R2's lexical check cannot see"
+    ),
+    "R10": (
+        "message destinations drawn from unordered iteration (a set/dict "
+        "reached through aliases or a callee's return value) — message "
+        "order becomes a hash artifact; iterate sorted(...)"
+    ),
+    "R11": (
+        "SPMD function performs NumPy compute but never charges the "
+        "alpha-beta cost model (no ctx.charge, no message-bearing "
+        "primitive, no charging callee) — the work is invisible to the "
+        "simulated timeline"
+    ),
+    "R12": (
+        "checkpoint-domain inconsistency: ctx.checkpoint without its "
+        "ctx.restore guard, a non-literal domain name, or checkpointed "
+        "state mutated after the snapshot — run_with_recovery would "
+        "silently lose the difference on restart"
+    ),
+    "R0": "file could not be parsed or read",
 }
+
+#: Codes produced by the dataflow pass (:mod:`repro.lint.flow`).
+#: Suppressing one inline requires a justification:
+#: ``# noqa: R8 -- <why this is safe>``.
+FLOW_CODES = frozenset({"R8", "R9", "R10", "R11", "R12"})
 
 
 @dataclass(frozen=True, order=True)

@@ -1,0 +1,27 @@
+"""Interprocedural dataflow analysis for SPMD programs (rules R8–R12).
+
+Where rules R1–R7 (:mod:`repro.lint.rules`) check one line or one
+lexical region at a time, this subpackage proves properties over *all
+paths* of a whole program: per-function CFGs (:mod:`.cfg`), a
+name-resolved call graph with fixpoint summaries (:mod:`.callgraph`),
+rank-taint inference (:mod:`.taint`), collective-sequence divergence —
+static deadlock detection (:mod:`.collectives`) — and charge/checkpoint
+audits (:mod:`.charges`).  Architecture notes live in
+``docs/STATIC_ANALYSIS.md``.
+"""
+
+from .analyzer import FLOW_CODES, analyze_modules
+from .callgraph import CallGraph
+from .cfg import CFG, build_cfg, sequences
+from .taint import expr_tainted, function_taint
+
+__all__ = [
+    "FLOW_CODES",
+    "analyze_modules",
+    "CallGraph",
+    "CFG",
+    "build_cfg",
+    "sequences",
+    "expr_tainted",
+    "function_taint",
+]

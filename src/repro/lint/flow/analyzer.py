@@ -1,0 +1,56 @@
+"""Orchestration of the whole-program dataflow rules (R8–R12).
+
+One :class:`~repro.lint.flow.callgraph.CallGraph` is built over every
+module handed to :func:`analyze_modules` (the linted file set), then
+each *SPMD* function — one that handles a ``PEContext`` (the same
+scope test rules R4/R7 use) — is run through the per-function checks:
+
+* collective-sequence divergence (R8/R9, ``collectives.py``),
+* unordered send destinations the lexical rule misses (R10,
+  ``taint.py``),
+* charge coverage (R11) and checkpoint consistency (R12,
+  ``charges.py``).
+
+Functions outside SPMD scope (graph builders, analysis tooling, the
+machine internals themselves) are exempt: the contract only binds code
+that runs *on* the machine.
+
+Findings are deduplicated on their full identity — the call graph is
+resolved by simple name, so one defect can be rediscovered along
+several call paths; the user should see it once.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..findings import FLOW_CODES, Finding
+from .callgraph import CallGraph
+from .charges import check_charge_coverage, check_checkpoint_consistency
+from .collectives import check_collective_divergence
+from .taint import check_unordered_destinations
+
+__all__ = ["analyze_modules", "FLOW_CODES"]
+
+
+def analyze_modules(modules: Iterable[tuple[str, ast.Module]]) -> list[Finding]:
+    """Run the interprocedural rules over parsed modules.
+
+    ``modules`` is a list of ``(path, tree)`` pairs; the call graph and
+    summaries span all of them, so cross-file calls resolve as long as
+    caller and callee are linted together (the normal ``src`` run).
+    Returns deduplicated findings sorted by location.
+    """
+    modules = list(modules)
+    cg = CallGraph(modules)
+    findings: set[Finding] = set()
+    for decl in cg.decls:
+        if not decl.info.is_spmd:
+            continue
+        fn = decl.node
+        findings.update(check_collective_divergence(fn, decl.info, cg, decl.path))
+        findings.update(check_unordered_destinations(fn, decl.info, cg, decl.path))
+        findings.update(check_charge_coverage(decl, cg))
+        findings.update(check_checkpoint_consistency(decl, cg))
+    return sorted(findings)

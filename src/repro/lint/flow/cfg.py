@@ -1,0 +1,240 @@
+"""Per-function control-flow graphs for the dataflow rules (R8–R12).
+
+The CFG is deliberately small: basic blocks hold *statement markers*
+(for compound statements only the header expression — an ``if`` test, a
+``for`` iterable — is evaluated "at" the marker; the controlled bodies
+live in successor blocks).  ``with`` bodies are inlined since a context
+manager does not branch.  ``try`` is modelled coarsely: the handler can
+be entered from the block that starts the ``try``.
+
+On top of the graph, :func:`sequences` enumerates the *collective
+sequence abstraction*: the set of per-path symbol tuples produced by a
+caller-supplied extractor.  Loops are bounded (every edge may be taken
+at most twice per path), so a loop body contributes its zero- and
+one-iteration shapes — enough to distinguish "all ranks enter the same
+collectives" from "some path skips or repeats one".  Enumeration is
+capped; on overflow a ``...`` sentinel sequence marks the truncation so
+callers never mistake a truncated set for a proven-equal one.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Iterable
+
+__all__ = ["Block", "CFG", "build_cfg", "header_exprs", "sequences", "OVERFLOW"]
+
+#: Sentinel sequence appended when path enumeration hits its cap.
+OVERFLOW = ("...",)
+
+
+class Block:
+    """One basic block: statement markers plus successor block ids."""
+
+    __slots__ = ("id", "stmts", "succs")
+
+    def __init__(self, block_id: int):
+        self.id = block_id
+        self.stmts: list[ast.stmt] = []
+        self.succs: list[int] = []
+
+
+class CFG:
+    """Entry/exit-delimited basic-block graph of one statement list.
+
+    ``branches`` maps each ``if`` statement to the pair of blocks where
+    its then/else paths continue (the else entry is the join block when
+    there is no ``orelse``), so rules can compare the *continuations*
+    of the two arms all the way to function exit — which is what makes
+    balanced early-return diamonds compare equal.
+    """
+
+    __slots__ = ("blocks", "entry", "exit", "branches")
+
+    def __init__(
+        self,
+        blocks: list[Block],
+        entry: int,
+        exit_id: int,
+        branches: dict[ast.stmt, tuple[int, int]],
+    ):
+        self.blocks = blocks
+        self.entry = entry
+        self.exit = exit_id
+        self.branches = branches
+
+
+def header_exprs(stmt: ast.stmt) -> list[ast.AST]:
+    """The expressions evaluated *at* a block's statement marker.
+
+    For compound statements this is only the header (test/iterable/
+    context expressions); their bodies are represented by successor
+    blocks, so returning them here would double-count.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, ast.For):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, (ast.Return, ast.Expr)):
+        return [stmt.value] if stmt.value is not None else []
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return []
+    if isinstance(stmt, (ast.Try, ast.Match)):
+        return []
+    return [stmt]
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.blocks: list[Block] = []
+        self.branches: dict[ast.stmt, tuple[int, int]] = {}
+        self.exit = self.new_block().id
+
+    def new_block(self) -> Block:
+        b = Block(len(self.blocks))
+        self.blocks.append(b)
+        return b
+
+    def edge(self, src: int | None, dst: int) -> None:
+        if src is not None and dst not in self.blocks[src].succs:
+            self.blocks[src].succs.append(dst)
+
+    def build(
+        self,
+        stmts: Iterable[ast.stmt],
+        cur: int | None,
+        loops: list[tuple[int, int]],
+    ) -> int | None:
+        """Wire ``stmts`` starting at block ``cur``; returns the fall-through
+        block (or ``None`` when control cannot reach past the list)."""
+        for stmt in stmts:
+            if cur is None:
+                return None
+            if isinstance(stmt, ast.If):
+                self.blocks[cur].stmts.append(stmt)
+                then_b = self.new_block()
+                self.edge(cur, then_b.id)
+                then_end = self.build(stmt.body, then_b.id, loops)
+                if stmt.orelse:
+                    else_b = self.new_block()
+                    self.edge(cur, else_b.id)
+                    else_end = self.build(stmt.orelse, else_b.id, loops)
+                else:
+                    else_end = cur
+                join = self.new_block()
+                self.edge(then_end, join.id)
+                self.edge(else_end, join.id)
+                self.branches[stmt] = (
+                    then_b.id,
+                    else_b.id if stmt.orelse else join.id,
+                )
+                cur = join.id if (then_end is not None or else_end is not None) else None
+            elif isinstance(stmt, (ast.While, ast.For)):
+                header = self.new_block()
+                self.edge(cur, header.id)
+                header.stmts.append(stmt)
+                after = self.new_block()
+                body_b = self.new_block()
+                self.edge(header.id, body_b.id)
+                infinite = isinstance(stmt, ast.While) and (
+                    isinstance(stmt.test, ast.Constant) and bool(stmt.test.value)
+                )
+                if not infinite:
+                    self.edge(header.id, after.id)
+                body_end = self.build(stmt.body, body_b.id, loops + [(header.id, after.id)])
+                self.edge(body_end, header.id)
+                cur = self.build(stmt.orelse, after.id, loops)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                self.blocks[cur].stmts.append(stmt)
+                cur = self.build(stmt.body, cur, loops)
+            elif isinstance(stmt, ast.Try):
+                body_b = self.new_block()
+                self.edge(cur, body_b.id)
+                join = self.new_block()
+                body_end = self.build(list(stmt.body) + list(stmt.orelse), body_b.id, loops)
+                self.edge(body_end, join.id)
+                for handler in stmt.handlers:
+                    hb = self.new_block()
+                    self.edge(cur, hb.id)
+                    self.edge(self.build(handler.body, hb.id, loops), join.id)
+                cur = self.build(stmt.finalbody, join.id, loops)
+            elif isinstance(stmt, ast.Return):
+                self.blocks[cur].stmts.append(stmt)
+                self.edge(cur, self.exit)
+                cur = None
+            elif isinstance(stmt, ast.Raise):
+                # Dead end on purpose: a raising path aborts the run
+                # (the machine surfaces the error), so it does not
+                # participate in the collective-order comparison.
+                self.blocks[cur].stmts.append(stmt)
+                cur = None
+            elif isinstance(stmt, ast.Break):
+                self.edge(cur, loops[-1][1] if loops else self.exit)
+                cur = None
+            elif isinstance(stmt, ast.Continue):
+                self.edge(cur, loops[-1][0] if loops else self.exit)
+                cur = None
+            else:
+                self.blocks[cur].stmts.append(stmt)
+        return cur
+
+
+def build_cfg(stmts: Iterable[ast.stmt]) -> CFG:
+    """Build the CFG of one statement list (a function body or branch arm)."""
+    b = _Builder()
+    entry = b.new_block()
+    end = b.build(list(stmts), entry.id, [])
+    b.edge(end, b.exit)
+    return CFG(b.blocks, entry.id, b.exit, b.branches)
+
+
+def sequences(
+    cfg: CFG,
+    symbols_of: Callable[[ast.stmt], tuple[str, ...]],
+    *,
+    start: int | None = None,
+    max_paths: int = 128,
+    max_len: int = 32,
+) -> frozenset[tuple[str, ...]]:
+    """All bounded ``start``→exit symbol sequences of ``cfg``.
+
+    ``symbols_of`` maps one statement marker to the (possibly empty)
+    tuple of symbols it emits — for the collective-order rules, the
+    collectives entered while evaluating that statement's header.
+    ``start`` defaults to the entry block; rules pass a branch target
+    from :attr:`CFG.branches` to enumerate one arm's continuation.
+    Raising paths are dropped (they abort, they do not reorder).
+    """
+    out: set[tuple[str, ...]] = set()
+    # Each stack frame: (block id, symbols so far, edge-use counts).
+    stack: list[tuple[int, tuple[str, ...], dict[tuple[int, int], int]]] = [
+        (cfg.entry if start is None else start, (), {})
+    ]
+    while stack:
+        if len(out) >= max_paths:
+            out.add(OVERFLOW)
+            break
+        block_id, seq, used = stack.pop()
+        block = cfg.blocks[block_id]
+        for stmt in block.stmts:
+            syms = symbols_of(stmt)
+            if syms:
+                seq = seq + syms
+        if len(seq) > max_len:
+            seq = seq[:max_len] + OVERFLOW
+        if block_id == cfg.exit:
+            out.add(seq)
+            continue
+        if not block.succs:
+            continue  # raising / aborting path — not comparable
+        for succ in block.succs:
+            edge = (block_id, succ)
+            count = used.get(edge, 0)
+            if count >= 2:
+                continue  # loop bound: each edge at most twice per path
+            nxt = dict(used)
+            nxt[edge] = count + 1
+            stack.append((succ, seq, nxt))
+    return frozenset(out)

@@ -1,0 +1,273 @@
+"""Charge coverage (R11) and checkpoint-domain consistency (R12).
+
+R11 — every NumPy compute statement on an SPMD path must have its cost
+flow into the alpha-beta model.  The audit is function-granular: an
+SPMD function that performs vectorized compute but neither charges
+directly (``ctx.charge`` / ``charge_time`` / a message-bearing
+primitive) nor calls any callee that (transitively) charges is doing
+work the simulated timeline never sees — its modelled time is a lie
+for exactly the hot paths that matter.  ``np.random.*`` is excluded
+(R4's territory) and trivially-cheap constructors (``np.empty``,
+dtype queries) are allowlisted.
+
+R12 — the coordinated-checkpoint contract of
+:func:`repro.core.checkpoint.run_with_recovery`: a ``ctx.checkpoint``
+must be guarded by a preceding ``ctx.restore`` of the same domain (the
+restore-else-recompute idiom), checkpoint/restore domain names must be
+literals (rank-computed names break the store's global-stability
+pruning), and state captured in the snapshot must not be mutated
+afterwards in the same block — on restart the mutation is silently
+lost while peers replay the stale snapshot.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import Finding
+from ..rules import _is_ctx_expr, _walk_no_nested_functions
+from .callgraph import CallGraph
+
+__all__ = ["check_charge_coverage", "check_checkpoint_consistency"]
+
+#: ``np.*`` attributes that allocate/inspect without meaningful work.
+_NP_CHEAP = frozenset(
+    {
+        "empty",
+        "empty_like",
+        "asarray",
+        "ascontiguousarray",
+        "dtype",
+        "iinfo",
+        "finfo",
+        "result_type",
+        "can_cast",
+        "isscalar",
+        "int64",
+        "int32",
+        "float64",
+        "bool_",
+        "ndim",
+        "shape",
+        "promote_types",
+    }
+)
+
+#: Methods that mutate their receiver in place (R12 state loss).
+_MUTATOR_ATTRS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "clear",
+        "update",
+        "add",
+        "discard",
+        "setdefault",
+        "sort",
+        "reverse",
+        "fill",
+    }
+)
+
+
+def _np_compute_call(call: ast.Call) -> bool:
+    """A ``np.<...>`` call that does O(n) work (not cheap, not random)."""
+    func = call.func
+    segments: list[str] = []
+    node: ast.AST = func
+    while isinstance(node, ast.Attribute):
+        segments.append(node.attr)
+        node = node.value
+    if not (isinstance(node, ast.Name) and node.id in ("np", "numpy")):
+        return False
+    segments.reverse()  # e.g. np.add.at -> ["add", "at"]
+    if not segments or segments[0] == "random":
+        return False  # unseeded np.random is rule R4's finding
+    return segments[-1] not in _NP_CHEAP and segments[0] not in _NP_CHEAP
+
+
+def check_charge_coverage(decl, cg: CallGraph) -> list[Finding]:
+    """R11 over one SPMD function: compute with no route to the model."""
+    fn = decl.node
+    compute_sites = [
+        n
+        for n in _walk_no_nested_functions(fn.body)
+        if isinstance(n, ast.Call) and _np_compute_call(n)
+    ]
+    if not compute_sites:
+        return []
+    if decl.direct_charge or any(cg.charges(c) for c in decl.calls):
+        return []
+    first = min(compute_sites, key=lambda n: (n.lineno, n.col_offset))
+    return [
+        Finding(
+            path=decl.path,
+            line=first.lineno,
+            col=first.col_offset + 1,
+            code="R11",
+            message=(
+                f"SPMD function '{fn.name}' performs NumPy compute but "
+                f"never charges the cost model — no ctx.charge, no "
+                f"message-bearing primitive, and no callee that charges, "
+                f"so this work is invisible to the simulated timeline"
+            ),
+        )
+    ]
+
+
+def _ctx_method_call(node: ast.AST, method: str) -> ast.Call | None:
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == method
+        and _is_ctx_expr(node.func.value)
+    ):
+        return node
+    return None
+
+
+def _blocks(fn) -> list[list[ast.stmt]]:
+    """Every statement list of the function (nested defs excluded)."""
+    out: list[list[ast.stmt]] = []
+    stack: list[list[ast.stmt]] = [fn.body]
+    while stack:
+        block = stack.pop()
+        out.append(block)
+        for stmt in block:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for field in ("body", "orelse", "finalbody"):
+                sub = getattr(stmt, field, None)
+                if sub:
+                    stack.append(sub)
+            for handler in getattr(stmt, "handlers", []) or []:
+                stack.append(handler.body)
+            for case in getattr(stmt, "cases", []) or []:
+                stack.append(case.body)
+    return out
+
+
+def check_checkpoint_consistency(decl, cg: CallGraph) -> list[Finding]:
+    """R12 over one function using ``ctx.checkpoint`` / ``ctx.restore``."""
+    fn = decl.node
+    path = decl.path
+    findings: list[Finding] = []
+    checkpoints: list[ast.Call] = []
+    restores: list[ast.Call] = []
+    for n in _walk_no_nested_functions(fn.body):
+        call = _ctx_method_call(n, "checkpoint")
+        if call is not None:
+            checkpoints.append(call)
+        call = _ctx_method_call(n, "restore")
+        if call is not None:
+            restores.append(call)
+    if not checkpoints and not restores:
+        return []
+
+    def literal_name(call: ast.Call) -> str | None:
+        arg = call.args[0] if call.args else None
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+        return None
+
+    def emit(node: ast.AST, message: str) -> None:
+        findings.append(
+            Finding(
+                path=path,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                code="R12",
+                message=message,
+            )
+        )
+
+    restored: dict[str, int] = {}
+    for call in restores:
+        name = literal_name(call)
+        if name is None:
+            emit(
+                call,
+                "ctx.restore(...) domain name must be a string literal — "
+                "computed names defeat the store's global-stability pruning "
+                "and can differ across ranks",
+            )
+        else:
+            restored.setdefault(name, call.lineno)
+
+    blocks = _blocks(fn)
+    for call in checkpoints:
+        name = literal_name(call)
+        if name is None:
+            emit(
+                call,
+                "ctx.checkpoint(...) domain name must be a string literal — "
+                "computed names defeat the store's global-stability pruning "
+                "and can differ across ranks",
+            )
+            continue
+        if name not in restored or restored[name] >= call.lineno:
+            emit(
+                call,
+                f"ctx.checkpoint('{name}') without a preceding "
+                f"ctx.restore('{name}') guard — on restart this phase "
+                f"re-runs and re-sends while peers replay their snapshots "
+                f"(use the restore-else-recompute idiom)",
+            )
+        if len(call.args) > 1:
+            _check_mutation_after(call, blocks, emit)
+    return findings
+
+
+def _check_mutation_after(call: ast.Call, blocks, emit) -> None:
+    """Flag mutations of checkpointed state later in the same block."""
+    captured = {
+        n.id for n in ast.walk(call.args[1]) if isinstance(n, ast.Name)
+    }
+    if not captured:
+        return
+    for block in blocks:
+        idx = next(
+            (
+                i
+                for i, stmt in enumerate(block)
+                if isinstance(stmt, ast.Expr) and stmt.value is call
+            ),
+            None,
+        )
+        if idx is None:
+            continue
+        for stmt in block[idx + 1 :]:
+            for n in _walk_no_nested_functions([stmt]):
+                mutated = _mutates(n, captured)
+                if mutated is not None:
+                    emit(
+                        n,
+                        f"'{mutated}' is captured by the checkpoint at line "
+                        f"{call.lineno} but mutated afterwards — on restart "
+                        f"the snapshot replays the stale value and this "
+                        f"mutation is silently lost",
+                    )
+        return
+
+
+def _mutates(node: ast.AST, captured: set[str]) -> str | None:
+    if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for t in targets:
+            base = t
+            while isinstance(base, (ast.Subscript, ast.Attribute)):
+                base = base.value
+            if isinstance(base, ast.Name) and base.id in captured:
+                return base.id
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _MUTATOR_ATTRS
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id in captured
+    ):
+        return node.func.value.id
+    return None

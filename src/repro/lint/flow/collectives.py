@@ -1,0 +1,236 @@
+"""Static deadlock detection: divergent collective sequences (R8, R9).
+
+Every PE must enter the same collectives in the same order.  Rule R2
+polices the *lexical* version of this (a collective textually inside a
+``rank``-mentioning region); these rules prove the property over
+control flow and the call graph:
+
+R8 — the collective *sequence* can structurally diverge across ranks:
+
+* an ``if`` under a rank-divergent guard whose two arms enter
+  different collective sequences **through callees** (R2 cannot see
+  into a callee);
+* a loop whose trip count can differ across ranks (rank-tainted test,
+  or a ``break``/``return`` under a rank-divergent guard inside it)
+  while the loop body enters collectives;
+* an early ``return`` under a rank-divergent guard with collectives
+  later in the function — the returning PE skips them.
+
+R9 — the same arm-divergence but reached purely through *dataflow*
+taint: the guard never mentions ``rank`` lexically (so R2 is blind),
+yet its condition is derived from ``ctx.rank``, received messages, or
+checkpoint replay, and the arms' *direct* collective sequences differ.
+
+Arm comparison uses the CFG's bounded collective-sequence abstraction
+(:func:`..flow.cfg.sequences`), so *balanced* branches — both arms
+entering the same collectives — are correctly accepted, which plain
+region-marking cannot do.  Divergence that is both lexical and direct
+is left to R2 (one finding per bug).  ``ctx.recv`` is deliberately not
+in the collective alphabet: point-to-point receives under rank guards
+are how the collectives themselves are implemented.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import Finding
+from ..rules import _collective_name, _walk_no_nested_functions
+from .callgraph import CallGraph, _callee_name
+from .cfg import build_cfg, header_exprs, sequences
+from .taint import expr_tainted, function_taint, mentions_rank
+
+__all__ = ["check_collective_divergence"]
+
+
+class _Checker:
+    def __init__(self, fn, info, cg: CallGraph, path: str):
+        self.fn = fn
+        self.cg = cg
+        self.path = path
+        self.tainted = function_taint(fn)
+        self.rank_aliases = info.rank_aliases
+        self.findings: list[Finding] = []
+        self.cfg = build_cfg(fn.body)
+
+    # -- the collective alphabet ---------------------------------------
+    def _symbol(self, call: ast.Call) -> str | None:
+        name = _collective_name(call)
+        if name is not None:
+            return name
+        callee = _callee_name(call)
+        if callee is not None and self.cg.has_collective(callee):
+            return f"{callee}()"
+        return None
+
+    def _stmt_symbols(self, stmt: ast.stmt) -> tuple[str, ...]:
+        out: list[str] = []
+        for expr in header_exprs(stmt):
+            for n in _walk_no_nested_functions([expr]):
+                if isinstance(n, ast.Call):
+                    sym = self._symbol(n)
+                    if sym is not None:
+                        out.append(sym)
+        return tuple(out)
+
+    def _subtree_symbols(self, stmts: list[ast.stmt]) -> set[str]:
+        return {
+            sym
+            for n in _walk_no_nested_functions(stmts)
+            if isinstance(n, ast.Call) and (sym := self._symbol(n)) is not None
+        }
+
+    # -- guard classification ------------------------------------------
+    def _guard_kind(self, test: ast.AST) -> str | None:
+        if mentions_rank(test, self.rank_aliases):
+            return "lexical"
+        if expr_tainted(test, self.tainted):
+            return "taint"
+        return None
+
+    def _emit(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                code=code,
+                message=message,
+            )
+        )
+
+    # -- traversal ------------------------------------------------------
+    def run(self) -> list[Finding]:
+        self._walk(self.fn.body, guards=(), loops=[])
+        return self.findings
+
+    def _walk(self, stmts, guards, loops) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.If):
+                kind = self._guard_kind(stmt.test)
+                if kind is not None:
+                    self._check_arms(stmt, kind)
+                inner = guards + ((kind, stmt.test.lineno),) if kind else guards
+                self._walk(stmt.body, inner, loops)
+                self._walk(stmt.orelse, inner, loops)
+            elif isinstance(stmt, (ast.While, ast.For)):
+                test = stmt.test if isinstance(stmt, ast.While) else stmt.iter
+                kind = self._guard_kind(test)
+                record = {"node": stmt, "divergent": kind, "entry_depth": len(guards)}
+                inner = guards + ((kind, test.lineno),) if kind else guards
+                self._walk(stmt.body, inner, loops + [record])
+                self._walk(stmt.orelse, guards, loops)
+                if record["divergent"] is not None:
+                    self._check_loop(stmt, record["divergent"])
+            elif isinstance(stmt, (ast.Break, ast.Return)):
+                # A rank-divergent exit makes enclosing loops' trip
+                # counts rank-dependent.
+                affected = loops[-1:] if isinstance(stmt, ast.Break) else loops
+                for record in affected:
+                    divergent = next(
+                        (
+                            k
+                            for k, _ in guards[record["entry_depth"]:]
+                            if k is not None
+                        ),
+                        None,
+                    )
+                    if divergent is not None and record["divergent"] is None:
+                        record["divergent"] = divergent
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                self._walk(stmt.body, guards, loops)
+            elif isinstance(stmt, ast.Try):
+                self._walk(stmt.body, guards, loops)
+                for handler in stmt.handlers:
+                    self._walk(handler.body, guards, loops)
+                self._walk(stmt.orelse, guards, loops)
+                self._walk(stmt.finalbody, guards, loops)
+            elif isinstance(stmt, ast.Match):
+                for case in stmt.cases:
+                    self._walk(case.body, guards, loops)
+
+    # -- the two divergence shapes -------------------------------------
+    def _check_arms(self, stmt: ast.If, kind: str) -> None:
+        """Compare the *continuations* of the two arms to function exit.
+
+        Suffix comparison (rather than comparing the arm bodies alone)
+        is what accepts balanced diamonds: an arm that enters a
+        collective and then returns is equivalent to falling through to
+        the same collective later.
+        """
+        if stmt not in self.cfg.branches:
+            return
+        then_b, else_b = self.cfg.branches[stmt]
+        then_seqs = sequences(self.cfg, self._stmt_symbols, start=then_b)
+        else_seqs = sequences(self.cfg, self._stmt_symbols, start=else_b)
+        if any("..." in seq for seqs in (then_seqs, else_seqs) for seq in seqs):
+            return  # enumeration truncated — cannot prove divergence
+        if not then_seqs or not else_seqs:
+            # Every path through one arm raises.  An aborting PE takes
+            # the whole run down loudly; it cannot *silently* skip
+            # collectives, so there is no deadlock to report.
+            return
+        if then_seqs == else_seqs:
+            return
+        # Attribute the divergence to the symbols lexically in the arms;
+        # when the arms hold none, the divergence is an early exit that
+        # skips the continuation's collectives.
+        arm_syms = self._subtree_symbols(list(stmt.body) + list(stmt.orelse))
+        body_local = sequences(build_cfg(stmt.body), self._stmt_symbols)
+        else_local = sequences(build_cfg(stmt.orelse), self._stmt_symbols)
+        if arm_syms and body_local != else_local:
+            has_callee = any(s.endswith("()") for s in arm_syms)
+            if kind == "lexical" and not has_callee:
+                return  # R2 reports each lexically-guarded collective
+            if has_callee:
+                via = sorted(s for s in arm_syms if s.endswith("()"))
+                self._emit(
+                    stmt,
+                    "R8",
+                    f"collective sequence diverges across the arms of this "
+                    f"rank-dependent branch: {', '.join(via)} enter "
+                    f"collectives on one path but not the other — PEs "
+                    f"taking different arms deadlock",
+                )
+            else:
+                self._emit(
+                    stmt,
+                    "R9",
+                    f"branch condition is rank-tainted (derived from "
+                    f"ctx.rank, received data, or checkpoint replay) and "
+                    f"its arms enter different collective sequences "
+                    f"({', '.join(sorted(arm_syms))}) — PEs diverge "
+                    f"without any lexical mention of rank",
+                )
+        else:
+            skipped = sorted(
+                {s for seq in then_seqs ^ else_seqs for s in seq}
+            )
+            self._emit(
+                stmt,
+                "R8",
+                f"rank-dependent early exit: one arm leaves the function "
+                f"while the other continues into collectives "
+                f"({', '.join(skipped)}) — returning PEs never enter them "
+                f"while the rest block",
+            )
+
+    def _check_loop(self, stmt, kind: str) -> None:
+        symbols = self._subtree_symbols(stmt.body)
+        if not symbols:
+            return
+        if kind == "lexical" and not any(s.endswith("()") for s in symbols):
+            # The loop condition itself mentions rank and the
+            # collectives are lexically inside — R2's case.
+            return
+        self._emit(
+            stmt,
+            "R8",
+            f"loop trip count can differ across ranks while the body enters "
+            f"collectives ({', '.join(sorted(symbols))}) — PEs that iterate "
+            f"more times enter extra collectives and deadlock",
+        )
+
+def check_collective_divergence(fn, info, cg: CallGraph, path: str) -> list[Finding]:
+    """R8/R9 over one SPMD function."""
+    return _Checker(fn, info, cg, path).run()

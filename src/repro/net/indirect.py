@@ -131,6 +131,7 @@ class GridRouter:
             dtype=np.int64,
             count=ctx.num_pes,
         )
+        ctx.charge(ctx.num_pes)  # the O(p) proxy table above
 
     @property
     def records_posted(self) -> int:
