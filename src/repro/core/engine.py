@@ -33,7 +33,12 @@ send structure) — so a PE crash during the communication-heavy global
 phase re-runs only that phase.  All point-to-point traffic flows
 through the aggregation queues and collectives, which ride the
 machine's transport; there are no raw ``ctx.send`` calls here (lint
-rule R5 checks this).
+rule R5 checks this).  Because every exchange goes through those
+primitives — which complete in-flight sends (``ctx.sync_sends``)
+before their termination barriers — the program runs unchanged on the
+contended network model of :mod:`repro.sim` (see
+``docs/SIMULATION.md``); checkpoint phase boundaries and retransmit
+timers are engine events there, not extra scheduler rounds.
 """
 
 from __future__ import annotations

@@ -8,10 +8,15 @@ per-rank straggler slowdowns.
 Determinism
 -----------
 All probabilistic decisions are drawn from one ``numpy`` generator
-seeded at construction.  The machine's scheduler is strict round-robin
-and consults the plan in a deterministic event order, so a run is a
+seeded at construction.  The event engine of :mod:`repro.sim` executes
+deterministically and consults the plan in a deterministic event order
+(on the alpha-beta network, the *same* order as the legacy round-robin
+scheduler — drops, delays, and crash coordinates are bit-identical
+between schedulers, pinned by ``tests/test_faults.py``), so a run is a
 pure function of ``(program, inputs, spec, FaultPlan seed)`` — the
 same guarantee the fault-free machine gives, extended to faulty runs.
+Under the contended model, delays defer the message's injection event
+and retransmit timeouts fire as engine timer events.
 Decision draws only happen for fault classes with a non-zero rate, so
 enabling one fault class does not perturb the decision stream of
 another run that never used it.

@@ -68,6 +68,13 @@ RULES: dict[str, str] = {
         "state mutated after the snapshot — run_with_recovery would "
         "silently lose the difference on restart"
     ),
+    "R13": (
+        "SPMD code mutates engine-owned state directly (ctx.metrics.*, "
+        "ctx._private, or a time-keyed attribute like clock/send_time/"
+        "busy_until) — programs must charge time and send messages "
+        "through the PEContext API so the event engine stays the single "
+        "writer of simulated time"
+    ),
     "R0": "file could not be parsed or read",
 }
 

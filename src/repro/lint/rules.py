@@ -1,4 +1,4 @@
-"""AST rules enforcing the SPMD protocol contract (R1–R7).
+"""AST rules enforcing the SPMD protocol contract (R1–R7, R13).
 
 The machine in :mod:`repro.net.machine` runs SPMD programs written as
 generators; its correctness contract (``docs/SPMD_CONTRACT.md``) cannot
@@ -42,6 +42,20 @@ R6
     merging and the phase profiler's buckets.  R6 therefore requires
     the call to be the context expression of a ``with`` item and its
     label to be a string literal.
+R13
+    Simulated time and engine state are owned by the machine: SPMD
+    program code must go through the :class:`~repro.net.machine.PEContext`
+    API (``ctx.charge`` / ``ctx.charge_time`` / ``ctx.send`` / spans)
+    and never mutate time-keyed engine state directly.  Flagged are
+    assignments (plain or augmented) in SPMD scope whose target is (a)
+    a ``ctx`` internal — anything reached through ``ctx.metrics`` or a
+    ``ctx._private`` attribute, e.g. ``ctx.metrics.clock += 5`` or
+    ``ctx._inbox[tag] = ...`` — or (b) a time-keyed scheduler
+    attribute (``clock``, ``send_time``, ``busy_until``) of any object,
+    e.g. ``msg.send_time = 0.0``.  Such writes desynchronize the event
+    engine's heap ordering from the per-PE clocks (a PE's pending
+    resume event was scheduled at the *old* clock), so the run stops
+    being a pure function of its inputs.
 R7
     The message hot path must stay vectorized: unpacking numpy arrays
     element-wise (``.tolist()``, ``zip(a.tolist(), ...)``,
@@ -121,6 +135,12 @@ NP_GLOBAL_RANDOM = frozenset(
         "seed",
     }
 )
+
+
+#: Attributes that key the event engine's time ordering (R13): writing
+#: them from program code desynchronizes the scheduler's heap from the
+#: simulated clocks.
+TIME_KEYED_ATTRS = frozenset({"clock", "send_time", "busy_until"})
 
 
 def _is_ctx_expr(node: ast.AST) -> bool:
@@ -434,6 +454,70 @@ class _Checker(ast.NodeVisitor):
                     "neighbors)' call instead (identical contents and "
                     "words charge)",
                 )
+
+    # -- R13: direct mutation of engine state from SPMD code -------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_r13(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_r13(node.target)
+        self.generic_visit(node)
+
+    @staticmethod
+    def _attr_chain(target: ast.AST) -> tuple[str, list[str]] | None:
+        """``(root, attrs)`` of a dotted/subscripted assignment target."""
+        attrs: list[str] = []
+        node = target
+        while True:
+            if isinstance(node, ast.Subscript):
+                node = node.value
+            elif isinstance(node, ast.Attribute):
+                attrs.append(node.attr)
+                node = node.value
+            elif isinstance(node, ast.Name):
+                attrs.reverse()
+                return node.id, attrs
+            else:
+                return None
+
+    def _check_r13(self, target: ast.AST) -> None:
+        if self._fn is None or not self._fn.is_spmd:
+            return
+        chain = self._attr_chain(target)
+        if chain is None or not chain[1]:
+            return
+        root, attrs = chain
+        # (a) ctx internals: anything assigned through ctx.metrics or a
+        # ctx._private attribute (also via a stored handle like self.ctx).
+        through_ctx = attrs if root == "ctx" else (
+            attrs[attrs.index("ctx") + 1 :] if "ctx" in attrs else None
+        )
+        if through_ctx and any(a == "metrics" or a.startswith("_") for a in through_ctx):
+            self._emit(
+                target,
+                "R13",
+                f"direct mutation of engine state "
+                f"'{root}.{'.'.join(attrs)}' in SPMD code — program code "
+                f"must account time and state through the PEContext API "
+                f"(ctx.charge / ctx.charge_time / ctx.send), never by "
+                f"writing machine internals",
+            )
+            return
+        # (b) time-keyed scheduler attributes on any object.  ``self``
+        # is exempt: a class mutating its own ``clock`` field is
+        # modelling its own state, not the machine's.
+        if root != "self" and attrs[-1] in TIME_KEYED_ATTRS:
+            self._emit(
+                target,
+                "R13",
+                f"assignment to time-keyed attribute "
+                f"'{root}.{'.'.join(attrs)}' in SPMD code — simulated "
+                f"time is owned by the event engine; advancing or "
+                f"rewinding it directly desynchronizes the scheduler "
+                f"(use ctx.charge_time for modelled delays)",
+            )
 
     # -- R1 / R2 / R4 at call sites ------------------------------------
     def visit_Call(self, node: ast.Call) -> None:

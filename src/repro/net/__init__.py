@@ -1,7 +1,11 @@
 """Simulated distributed-memory machine with the paper's cost model.
 
-* :class:`~repro.net.machine.Machine` — round-robin scheduler for SPMD
-  generator programs;
+* :class:`~repro.net.machine.Machine` — SPMD generator programs
+  scheduled by the event engine of :mod:`repro.sim` (legacy
+  round-robin scheduler available as ``scheduler="round-robin"``);
+* :class:`~repro.sim.network.Network` — message arrival model
+  (``"alpha-beta"`` flat compatibility model or ``"contended"``
+  link-level hierarchy), re-exported here for convenience;
 * :class:`~repro.net.costmodel.MachineSpec` — alpha-beta constants
   (presets: SUPERMUC, LAN, CLOUD);
 * :mod:`~repro.net.comm` — collectives built from point-to-point
@@ -55,8 +59,14 @@ from .reliable import (
     reliable_send,
 )
 from .trace import SpanRecord, TraceEvent, Tracer, render_timeline
+from ..sim.engine import EngineStats
+from ..sim.network import Link, Network, NetworkStats
 
 __all__ = [
+    "EngineStats",
+    "Link",
+    "Network",
+    "NetworkStats",
     "BufferedMessageQueue",
     "Record",
     "RecordFrame",

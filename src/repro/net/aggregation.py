@@ -289,6 +289,9 @@ class BufferedMessageQueue:
         see exactly the records that were posted).
         """
         self.flush()
+        # NBX discipline (see sparse_alltoall): our flushed frames must
+        # finish delivery before the barrier concludes the exchange.
+        yield from self.ctx.sync_sends()
         yield from barrier(self.ctx)
         parts = [msg.payload for msg in drain(self.ctx, self.tag)]
         parts.extend(self._local)

@@ -211,6 +211,12 @@ def sparse_alltoall(
             )
             continue
         ctx.send(dest, tag, payload, int(words))
+    # NBX discipline: wait for our own sends to finish delivery before
+    # entering the barrier — under the contended network model messages
+    # are in flight (queueing on links) after ``send`` returns, and a
+    # peer must not pass the barrier and drain before they land.  A
+    # no-op (zero yields) under instant delivery.
+    yield from ctx.sync_sends()
     yield from barrier(ctx)
     received.extend(drain(ctx, tag))
     return received

@@ -11,6 +11,14 @@ per *operation* (one merge comparison, one hash probe, ...) at
 ``flop_time`` seconds, so modelled running times combine computation
 and communication on one axis exactly like the paper's measured times.
 
+The spec prices the *endpoints* (sender and receiver each pay
+``alpha + beta * l``).  When a message actually *arrives* is decided
+by :class:`repro.sim.network.Network`: the default ``"alpha-beta"``
+model makes arrival instantaneous at the sender's post-send clock
+(the flat, infinitely-capacious wire this module has always assumed),
+while ``"contended"`` adds per-link occupancy on top of these same
+endpoint charges — see ``docs/SIMULATION.md``.
+
 Presets
 -------
 ``SUPERMUC``

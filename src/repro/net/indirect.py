@@ -22,6 +22,13 @@ proxy re-aggregates everything bound for the same final destination
 (the "all messages from a processor row designated to P_{k,l} get
 aggregated at the proxy" effect), and the threshold keeps memory
 linear.
+
+Indirect hops ride ordinary machine messages, so under the contended
+network model (:class:`repro.sim.network.Network`) *each hop* claims
+link capacity separately: funnelling a whole PE row's traffic through
+one proxy serializes it on that proxy node's uplink/downlink — the
+congestion effect the flat alpha-beta model cannot see, and exactly
+what the indirection-vs-direct trade of Section IV-B is about.
 """
 
 from __future__ import annotations

@@ -4,8 +4,14 @@
 program does local work, posts messages, and ``yield``\\ s whenever it
 wants the rest of the machine to make progress (the moral equivalent of
 the paper's "each PE continuously polls for incoming messages").  The
-:class:`Machine` schedules the generators round-robin until all have
-finished.
+:class:`Machine` is a thin façade over the event engine in
+:mod:`repro.sim`: PE generators are resumed by *events* (message
+delivery, timer expiry, send completion), so a PE blocked on an empty
+inbox costs nothing and runs with thousands of mostly-idle PEs stay
+fast.  ``Machine(scheduler="round-robin")`` keeps the original strict
+round-robin loop as a reference; the default event scheduler replays
+it bit-identically under the (default) alpha-beta network model — see
+``docs/SIMULATION.md``.
 
 Time is *modelled*, not measured: each PE owns a simulated clock that
 advances by ``flop_time`` per charged local operation and by
@@ -16,9 +22,10 @@ message fast-forwards the receiver's clock to at least that timestamp
 final clock over PEs — the same "slowest processor" notion as the
 paper's measured wall times.
 
-Determinism: scheduling is strict round-robin, inboxes are FIFO per
-(tag) class, and nothing consults real time or unseeded randomness, so
-a run is a pure function of (program, inputs, spec).
+Determinism: scheduling is a pure function of the deterministic event
+order (see :mod:`repro.sim.events`), inboxes are FIFO per (tag) class,
+and nothing consults real time or unseeded randomness, so a run is a
+pure function of (program, inputs, spec, network, fault plan).
 
 Writing programs
 ----------------
@@ -44,6 +51,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Generator
 
+from ..sim.engine import EngineStats, SimEngine, deliver_later
+from ..sim.network import Network, NetworkStats
 from .costmodel import DEFAULT_SPEC, MachineSpec
 from .messages import Message, Tag
 from .metrics import PEMetrics, RunMetrics
@@ -124,6 +133,10 @@ class PEContext:
         #: Tag this PE is currently blocked on inside ``recv`` (deadlock
         #: diagnostics); ``None`` while the PE is making progress.
         self._blocked_tag: Tag | None = None
+        #: True while this PE is suspended inside ``sync_sends`` waiting
+        #: for its in-flight messages to finish delivery (contended
+        #: network model only; instant delivery never sets it).
+        self._blocked_sends: bool = False
         #: Straggler factor (>= 1) multiplying every charged cost;
         #: set from the machine's fault plan, 1.0 on healthy PEs.
         self._slowdown: float = 1.0
@@ -278,6 +291,30 @@ class PEContext:
         q = self._inbox.get(tag)
         return len(q) if q else 0
 
+    def sync_sends(self) -> Generator[None, None, None]:
+        """Block until every send this PE has posted finished delivery.
+
+        The MPI_Issend / NBX discipline: under the contended network
+        model a posted message is *in flight* until its delivery event
+        fires, so a program about to conclude an exchange with
+        barrier-plus-drain must first wait for its own sends to land
+        (otherwise a peer can pass the barrier and drain before a
+        slow-link message arrives).  The collectives in
+        :mod:`repro.net.comm` and the aggregation queues call this
+        automatically.  Under instant delivery (the alpha-beta model,
+        ``ProcessMachine``, MPI shims) there is nothing in flight and
+        this yields zero times — bit-identity with the legacy
+        scheduler is preserved.
+        """
+        machine = self._machine
+        while True:
+            in_flight = getattr(machine, "_in_flight", None)
+            if in_flight is None or in_flight[self.rank] <= 0:
+                break
+            self._blocked_sends = True
+            yield
+        self._blocked_sends = False
+
     def enter_collective(self, label: str = "collective") -> int:
         """Monotone per-PE counter keying collective operations.
 
@@ -366,6 +403,12 @@ class MachineResult:
     #: schedules (a fault-free dry run measures it, then a crash can
     #: be planted at any fraction of the run).
     events: int = 0
+    #: Scheduler-work accounting from the event engine (``None`` under
+    #: the legacy round-robin scheduler).
+    engine: EngineStats | None = None
+    #: Link occupancy totals (``None`` under the flat alpha-beta model,
+    #: which has no links to contend for).
+    network: NetworkStats | None = None
 
     @property
     def time(self) -> float:
@@ -374,7 +417,7 @@ class MachineResult:
 
 
 class Machine:
-    """Round-robin scheduler for ``p`` PE programs with message passing.
+    """``p`` PE programs with message passing over a simulated network.
 
     Parameters
     ----------
@@ -382,6 +425,17 @@ class Machine:
         Number of simulated PEs.
     spec:
         Cost-model constants (alpha, beta, flop time, memory budget).
+    network:
+        :class:`repro.sim.network.Network` deciding message arrival
+        times.  Defaults to ``Network(model="alpha-beta")`` — the flat
+        uncontended compatibility model this repo has always used.
+        ``Network(model="contended")`` adds link-level queueing and
+        requires the (default) event scheduler.
+    scheduler:
+        ``"event"`` (default — the engine in :mod:`repro.sim.engine`;
+        idle PEs cost zero) or ``"round-robin"`` (the legacy strict
+        polling loop, kept as the bit-identity reference and for
+        scheduler-comparison benchmarks).
     tracer:
         Optional :class:`repro.net.trace.Tracer` receiving all events.
     protocol_check:
@@ -418,6 +472,8 @@ class Machine:
         num_pes: int,
         spec: MachineSpec = DEFAULT_SPEC,
         *,
+        network: Network | None = None,
+        scheduler: str = "event",
         tracer=None,
         protocol_check: bool | None = None,
         fault_plan=None,
@@ -429,6 +485,18 @@ class Machine:
             raise ValueError("need at least one PE")
         self.num_pes = num_pes
         self.spec = spec
+        self.network = network if network is not None else Network()
+        if scheduler not in ("event", "round-robin"):
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; expected 'event' or 'round-robin'"
+            )
+        if scheduler == "round-robin" and self.network.model != "alpha-beta":
+            raise ValueError(
+                "the round-robin scheduler only supports the alpha-beta "
+                "network model; contended (delayed) delivery needs the "
+                "event scheduler"
+            )
+        self.scheduler = scheduler
         #: Optional :class:`repro.net.trace.Tracer` receiving all events.
         self.tracer = tracer
         if protocol_check is None:
@@ -454,22 +522,79 @@ class Machine:
         self.transport = transport
         self.reliable_config = reliable_config
         self.checkpoint_store = checkpoint_store
-        self._network = None
+        #: The wire transport (reliable / lossy) or ``None`` for direct.
+        self._wire = None
+        #: The event engine of the run in progress (``None`` otherwise).
+        self._engine: SimEngine | None = None
+        #: Per-PE count of posted-but-undelivered messages; ``None``
+        #: under instant delivery (alpha-beta), where nothing is ever
+        #: in flight.
+        self._in_flight: list[int] | None = None
         self._contexts: list[PEContext] = []
         self._collective_log: list[list[str]] = []
         self._progress = 0
 
     # Internal hooks -----------------------------------------------------
-    def _deliver(self, msg: Message) -> None:
-        self._contexts[msg.dest]._inbox[msg.tag].append(msg)
+    def _deliver(self, msg: Message, *, front: bool = False) -> None:
+        """Append ``msg`` to its destination inbox and wake the receiver.
+
+        ``front=True`` (fault-plan reordering) overtakes the queued
+        messages of the same tag, when there are any.
+        """
+        q = self._contexts[msg.dest]._inbox[msg.tag]
+        if front and q:
+            q.appendleft(msg)
+        else:
+            q.append(msg)
         self._note_progress()
+        if self._engine is not None:
+            self._engine.on_deliver(msg.dest, msg.tag)
 
     def _transmit(self, msg: Message) -> None:
         """Carry one application send over the configured transport."""
-        if self._network is not None:
-            self._network.transmit(msg)
+        if self._in_flight is not None:
+            self._in_flight[msg.src] += 1
+        if self._wire is not None:
+            self._wire.transmit(msg)
         else:
-            self._deliver(msg)
+            self._inject(msg, msg.send_time)
+
+    def _inject(self, msg: Message, t: float, *, front: bool = False, settle: bool = True) -> None:
+        """A wire-complete message enters the network toward its inbox.
+
+        Under instant delivery this is the familiar direct append.
+        Under the contended model the network is consulted *at
+        simulated time* ``t`` (via an engine event, so link capacity is
+        claimed in time order) and the inbox append becomes a delivery
+        event at the computed arrival.  ``settle=False`` marks wire
+        duplicates, which must not decrement the sender's in-flight
+        count a second time.
+        """
+        if self._engine is not None and self.network.model == "contended":
+            self._engine.call_at(
+                t, lambda: self._claim_and_deliver(msg, t, front=front, settle=settle)
+            )
+        else:
+            self._deliver(msg, front=front)
+            if settle:
+                self._settle_send(msg.src)
+
+    def _claim_and_deliver(self, msg: Message, t: float, *, front: bool, settle: bool) -> None:
+        arrival = self.network.arrival_time(msg.src, msg.dest, msg.words, t)
+        deliver_later(self, msg, arrival, front=front, settle=settle)
+
+    def _finish_delivery(self, msg: Message, *, front: bool = False, settle: bool = True) -> None:
+        self._deliver(msg, front=front)
+        if settle:
+            self._settle_send(msg.src)
+
+    def _settle_send(self, src: int) -> None:
+        """One of ``src``'s in-flight messages reached its fate."""
+        if self._in_flight is None:
+            return
+        self._in_flight[src] -= 1
+        if self._in_flight[src] <= 0 and self._engine is not None:
+            self._engine.on_sends_settled(src)
 
     def _note_progress(self) -> None:
         self._progress += 1
@@ -503,22 +628,21 @@ class Machine:
                 f"enter the same collectives in the same order"
             )
 
-    def _deadlock_diagnostic(self, live: set[int], idle_rounds: int) -> str:
+    def _deadlock_diagnostic(self, live: set[int], reason: str) -> str:
         """Per-PE blocked tags and pending-message census for the error."""
-        lines = [
-            f"no progress in {idle_rounds} consecutive rounds; "
-            f"waiting PEs: {sorted(live)}"
-        ]
+        lines = [f"{reason}; waiting PEs: {sorted(live)}"]
         total_pending = 0
         for rank in sorted(live):
             ctx = self._contexts[rank]
             census = {tag: len(q) for tag, q in ctx._inbox.items() if q}
             total_pending += sum(census.values())
-            blocked = (
-                f"blocked on recv(tag={ctx._blocked_tag!r})"
-                if ctx._blocked_tag is not None
-                else "idle (no blocking recv recorded)"
-            )
+            if ctx._blocked_tag is not None:
+                blocked = f"blocked on recv(tag={ctx._blocked_tag!r})"
+            elif ctx._blocked_sends:
+                inflight = self._in_flight[rank] if self._in_flight else 0
+                blocked = f"blocked in sync_sends ({inflight} send(s) in flight)"
+            else:
+                blocked = "idle (no blocking recv recorded)"
             lines.append(f"  rank {rank}: {blocked}; pending inbox: {census or '{}'}")
         for rank in sorted(set(range(self.num_pes)) - live):
             ctx = self._contexts[rank]
@@ -553,8 +677,8 @@ class Machine:
         # still a program bug.  Reliable and direct transports preserve
         # exact application-level conservation.
         allowed = 0
-        if self._network is not None and not self._network.is_reliable:
-            allowed = self._network.wire_duplicates
+        if self._wire is not None and not self._wire.is_reliable:
+            allowed = self._wire.wire_duplicates
         if leftover_total > allowed:
             sent = sum(c.metrics.messages_sent for c in self._contexts)
             received = sum(c.metrics.messages_received for c in self._contexts)
@@ -584,8 +708,10 @@ class Machine:
         Raises
         ------
         DeadlockError
-            If a full scheduling round completes with live PEs but no
-            progress (no sends, receives, charges, or completions).
+            If every live PE is blocked and nothing in the machine can
+            wake one (detected exactly by the event engine: no runnable
+            PE, empty event queue), or if the livelock guard trips on
+            PEs that spin on bare ``yield`` without ever progressing.
         PECrashError
             If the fault plan crash-stops a PE; catch it with
             :func:`repro.core.checkpoint.run_with_recovery` to restart
@@ -598,13 +724,17 @@ class Machine:
         ]
         if plan is not None:
             for ctx in self._contexts:
-                ctx._slowdown = plan.slowdown(ctx.rank)
+                ctx._slowdown = plan.slowdown(ctx.rank)  # noqa: R13 -- the machine owns its contexts
+        self.network.bind(self.spec, self.num_pes)
         if self.transport == "reliable":
-            self._network = ReliableTransport(self, plan, self.reliable_config)
+            self._wire = ReliableTransport(self, plan, self.reliable_config)
         elif self.transport == "lossy":
-            self._network = LossyTransport(self, plan)
+            self._wire = LossyTransport(self, plan)
         else:
-            self._network = None
+            self._wire = None
+        self._in_flight = (
+            [0] * self.num_pes if self.network.model == "contended" else None
+        )
         if self.checkpoint_store is not None:
             self.checkpoint_store.begin_run()
         self._collective_log = [[] for _ in range(self.num_pes)]
@@ -612,6 +742,37 @@ class Machine:
         values: list[Any] = [None] * self.num_pes
         live = set(range(self.num_pes))
 
+        engine_stats: EngineStats | None = None
+        if self.scheduler == "event":
+            engine = SimEngine(self)
+            self._engine = engine
+            try:
+                engine.run(gens, live, values)
+            finally:
+                self._engine = None
+            engine_stats = engine.stats
+        else:
+            self._run_round_robin(gens, live, values)
+        if self.protocol_check:
+            self._check_teardown()
+        return MachineResult(
+            values=values,
+            metrics=RunMetrics(per_pe=[c.metrics for c in self._contexts]),
+            events=self._progress,
+            engine=engine_stats,
+            network=self.network.stats() if self.network.model == "contended" else None,
+        )
+
+    def _run_round_robin(self, gens, live: set[int], values: list[Any]) -> None:
+        """The legacy strict polling scheduler (``scheduler="round-robin"``).
+
+        Every round resumes every live PE — including PEs blocked on an
+        empty inbox, whose resumption is a pure no-op.  Kept as the
+        reference the event engine's compat disciplines are verified
+        against (``tests/test_sim.py``) and as the slow side of the
+        scale benchmark; new code should use the default scheduler.
+        """
+        plan = self.fault_plan
         idle_rounds = 0
         while live:
             before = self._progress
@@ -630,16 +791,16 @@ class Machine:
                 # A courtesy ``yield`` produces one idle round; genuine
                 # deadlock (everyone polling an empty inbox) produces
                 # idle rounds forever.  A small grace period separates
-                # the two without masking real livelocks.
+                # the two without masking real livelocks.  (The event
+                # scheduler needs no grace period: it detects the empty
+                # event queue exactly.)
                 idle_rounds += 1
                 if live and idle_rounds >= 5:
-                    raise DeadlockError(self._deadlock_diagnostic(live, idle_rounds))
+                    raise DeadlockError(
+                        self._deadlock_diagnostic(
+                            live,
+                            f"no progress in {idle_rounds} consecutive rounds",
+                        )
+                    )
             else:
                 idle_rounds = 0
-        if self.protocol_check:
-            self._check_teardown()
-        return MachineResult(
-            values=values,
-            metrics=RunMetrics(per_pe=[c.metrics for c in self._contexts]),
-            events=self._progress,
-        )

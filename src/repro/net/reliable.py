@@ -116,6 +116,9 @@ class ReliableTransport:
         self._next_seq: dict[tuple[int, int], int] = {}
         self._expected: dict[tuple[int, int], int] = {}
         self._acked: dict[tuple[int, int], int] = {}
+        #: Selective-repeat receive buffer (contended/event mode only):
+        #: out-of-order arrivals parked per channel until the gap fills.
+        self._held: dict[tuple[int, int], dict[int, tuple[Message, bool]]] = {}
         #: Wire-level totals (for diagnostics; app-level conservation
         #: is unaffected because this transport repairs every fault).
         self.wire_dropped = 0
@@ -130,11 +133,17 @@ class ReliableTransport:
     def transmit(self, msg: Message) -> None:
         """Carry one application send across the faulty wire.
 
-        All fault decisions for the message are resolved here, at send
-        time (the machine's scheduling is deterministic, so this is
-        equivalent to resolving them lazily): the number of dropped
-        attempts determines the retransmission costs charged to the
-        sender and the backoff delay added to the delivery timestamp.
+        Under instant delivery (alpha-beta model) all fault decisions
+        for the message are resolved here, at send time (the machine's
+        scheduling is deterministic, so this is equivalent to resolving
+        them lazily): the number of dropped attempts determines the
+        retransmission costs charged to the sender and the backoff
+        delay added to the delivery timestamp.  Under the contended
+        network model the protocol instead runs on real engine events
+        — retransmission *timers* fire in simulated time, and
+        out-of-order arrivals (a retransmit overtaken by a later
+        message on an uncongested link) are re-sequenced by a
+        selective-repeat receive buffer before they reach the inbox.
         """
         machine = self.machine
         spec = machine.spec
@@ -144,6 +153,16 @@ class ReliableTransport:
         chan = (msg.src, msg.dest)
         seq = self._next_seq.get(chan, 0)
         self._next_seq[chan] = seq + 1
+
+        if machine._engine is not None and machine.network.model == "contended":
+            wire_time = spec.message_time(msg.words)
+            timeout = self.config.timeout_factor * wire_time
+            out = replace(msg, channel_seq=seq)
+            machine._engine.call_at(
+                msg.send_time,
+                lambda: self._attempt_des(out, 1, msg.send_time, timeout),
+            )
+            return
 
         t = msg.send_time
         if plan is not None:
@@ -181,6 +200,123 @@ class ReliableTransport:
             self._arrive(
                 replace(delivered, send_time=t + spec.message_time(msg.words))
             )
+
+    # ------------------------------------------------------------------
+    # Event-driven protocol (contended network model)
+    # ------------------------------------------------------------------
+    def _attempt_des(self, msg: Message, attempts: int, t: float, timeout: float) -> None:
+        """One transmission attempt at simulated time ``t`` (engine event)."""
+        machine = self.machine
+        plan = self.plan
+        spec = machine.spec
+        sender = machine._contexts[msg.src]
+        tracer = machine.tracer
+        if plan is not None and plan.should_drop():
+            self.wire_dropped += 1
+            sender.metrics.messages_dropped += 1
+            if tracer is not None:
+                tracer.drop(t, msg.src, msg.dest, msg.tag, msg.words)
+            if attempts >= self.config.max_attempts:
+                raise TransportError(
+                    f"message {msg.src}->{msg.dest} tag={msg.tag!r} lost "
+                    f"{attempts} times; retry budget exhausted"
+                )
+
+            def retry() -> None:
+                sender.metrics.timeouts += 1
+                sender.metrics.retransmits += 1
+                retransmit_dt = sender._slowdown * spec.message_time(msg.words)
+                sender.metrics.clock += retransmit_dt
+                sender.metrics.retransmit_seconds += retransmit_dt
+                if tracer is not None:
+                    tracer.retry(t + timeout, msg.src, msg.dest, msg.tag, msg.words)
+                self._attempt_des(msg, attempts + 1, t + timeout, timeout * self.config.backoff)
+
+            machine._engine.call_at(t + timeout, retry)
+            return
+
+        inject_t = t
+        if plan is not None:
+            inject_t += plan.delay_seconds(spec.alpha)
+
+        def inject() -> None:
+            arrival = machine.network.arrival_time(msg.src, msg.dest, msg.words, inject_t)
+            machine._engine.post_delivery(
+                arrival,
+                lambda: self._arrive_des(replace(msg, send_time=arrival), duplicate=False),
+            )
+            if plan is not None and plan.should_duplicate():
+                self.wire_duplicates += 1
+                dup_arrival = arrival + spec.message_time(msg.words)
+                machine._engine.post_delivery(
+                    dup_arrival,
+                    lambda: self._arrive_des(
+                        replace(msg, send_time=dup_arrival), duplicate=True
+                    ),
+                )
+
+        if inject_t > t:
+            # Fault-plan delay: claim link capacity when the message
+            # actually reaches the wire, not now.
+            machine._engine.call_at(inject_t, inject)
+        else:
+            inject()
+
+    def _arrive_des(self, msg: Message, *, duplicate: bool) -> None:
+        """Receive-side protocol under the event engine.
+
+        ``duplicate`` marks injected wire copies, which never settle
+        the sender's in-flight count (the primary copy does).
+        """
+        machine = self.machine
+        chan = (msg.src, msg.dest)
+        receiver = machine._contexts[msg.dest]
+        seq = msg.channel_seq or 0
+        expected = self._expected.get(chan, 0)
+        held = self._held.setdefault(chan, {})
+        if seq < expected or seq in held:
+            # Stale or redundant copy: the receiver pays for pulling it
+            # off the wire, then discards it.
+            receiver.metrics.duplicates_discarded += 1
+            dup_dt = receiver._slowdown * machine.spec.message_time(msg.words)
+            receiver.metrics.clock += dup_dt
+            receiver.metrics.retransmit_seconds += dup_dt
+            machine._note_progress()
+            if not duplicate:
+                machine._settle_send(msg.src)
+            return
+        if seq > expected:
+            # Gap: an earlier message on this channel is still being
+            # retransmitted.  Hold this one; the sender's in-flight
+            # count settles only when it truly reaches the inbox (so
+            # ``sync_sends`` cannot conclude an exchange early).
+            held[seq] = (msg, duplicate)
+            machine._note_progress()
+            return
+        self._deliver_in_order(msg, settle=not duplicate)
+        nxt = self._expected[chan]
+        while nxt in held:
+            parked, parked_dup = held.pop(nxt)
+            self._deliver_in_order(parked, settle=not parked_dup)
+            nxt = self._expected[chan]
+
+    def _deliver_in_order(self, msg: Message, *, settle: bool) -> None:
+        machine = self.machine
+        chan = (msg.src, msg.dest)
+        receiver = machine._contexts[msg.dest]
+        self._expected[chan] = (msg.channel_seq or 0) + 1
+        machine._deliver(msg)
+        if settle:
+            machine._settle_send(msg.src)
+        acked = self._acked.get(chan, 0) + 1
+        self._acked[chan] = acked
+        if acked % self.config.ack_every == 0:
+            ack_time = machine.spec.message_time(ACK_WORDS)
+            receiver.metrics.clock += receiver._slowdown * ack_time
+            receiver.metrics.comm_seconds += receiver._slowdown * ack_time
+            sender = machine._contexts[msg.src]
+            sender.metrics.clock += sender._slowdown * ack_time
+            sender.metrics.comm_seconds += sender._slowdown * ack_time
 
     def _arrive(self, msg: Message) -> None:
         """Receive-side protocol: dedup, deliver, ack bookkeeping."""
@@ -239,27 +375,21 @@ class LossyTransport:
                     msg.send_time, msg.src, msg.dest, msg.tag, msg.words
                 )
             machine._note_progress()
+            # A dropped message is gone: it settles immediately (the
+            # lossy contract is that sync_sends does not wait for it).
+            machine._settle_send(msg.src)
             return
         delay = plan.delay_seconds(machine.spec.alpha)
         out = replace(msg, send_time=msg.send_time + delay) if delay else msg
-        self._deliver(out, jump_queue=plan.should_reorder())
+        # Reorder: the message overtakes everything queued for its tag
+        # class at delivery time (the program sees it first).
+        machine._inject(out, out.send_time, front=plan.should_reorder())
         if plan.should_duplicate():
             self.wire_duplicates += 1
             dup = replace(
                 out, send_time=out.send_time + machine.spec.message_time(msg.words)
             )
-            self._deliver(dup, jump_queue=False)
-
-    def _deliver(self, msg: Message, *, jump_queue: bool) -> None:
-        machine = self.machine
-        queue = machine._contexts[msg.dest]._inbox[msg.tag]
-        if jump_queue and queue:
-            # Reorder: the message overtakes everything queued for its
-            # tag class (the program sees it first).
-            queue.appendleft(msg)
-            machine._note_progress()
-        else:
-            machine._deliver(msg)
+            machine._inject(dup, dup.send_time, settle=False)
 
 
 # ----------------------------------------------------------------------
@@ -296,12 +426,12 @@ def reliable_send(
     runtime counterpart of lint rule R5.
     """
     machine = ctx._machine
-    network = getattr(machine, "_network", None)
+    wire = getattr(machine, "_wire", None)
     plan = getattr(machine, "fault_plan", None)
     if (
         plan is not None
         and plan.any_message_faults
-        and not getattr(network, "is_reliable", False)
+        and not getattr(wire, "is_reliable", False)
     ):
         from .machine import ProtocolError
 

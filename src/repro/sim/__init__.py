@@ -1,0 +1,31 @@
+"""Event-driven simulation core (engine + network models).
+
+Split out of :mod:`repro.net` so the scheduling machinery (events,
+disciplines, link contention) lives apart from the programming model
+(``Machine`` / ``PEContext`` / collectives), which now forms a thin
+façade over this package.  See ``docs/SIMULATION.md``.
+"""
+
+from .engine import LIVELOCK_ROUNDS, EngineStats, SimEngine
+from .events import (
+    PRIORITY_DELIVERY,
+    PRIORITY_RESUME,
+    PRIORITY_TIMER,
+    Event,
+    EventQueue,
+)
+from .network import Link, Network, NetworkStats
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "PRIORITY_DELIVERY",
+    "PRIORITY_TIMER",
+    "PRIORITY_RESUME",
+    "EngineStats",
+    "SimEngine",
+    "LIVELOCK_ROUNDS",
+    "Link",
+    "Network",
+    "NetworkStats",
+]

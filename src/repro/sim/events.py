@@ -1,0 +1,112 @@
+"""Deterministic priority-queue event core of the simulation engine.
+
+The engine (:mod:`repro.sim.engine`) is a classic discrete-event
+simulator: a binary heap of pending events ordered by simulated time,
+popped one at a time (the pmsim pattern — ``heapq.heappop`` of
+``(time, ...)`` tuples).  Two details make the queue *deterministic*,
+which the whole repo's bit-identical-replay guarantee rests on:
+
+* Ties on time are broken first by an integer **priority class**
+  (deliveries before timers before PE resumes — a message that arrives
+  "now" is visible to a PE resumed "now"), then by a monotone
+  **insertion sequence number**.  Floating-point equal times therefore
+  never fall through to comparing payloads, and two runs that insert
+  the same events in the same order pop them in the same order.
+* The queue never consults wall clocks or randomness; it is a pure
+  function of its insertion sequence.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+__all__ = [
+    "PRIORITY_DELIVERY",
+    "PRIORITY_TIMER",
+    "PRIORITY_RESUME",
+    "Event",
+    "EventQueue",
+]
+
+#: Message arrivals: processed first among same-time events so a PE
+#: resumed at time ``t`` already sees everything that arrived at ``t``.
+PRIORITY_DELIVERY = 0
+#: Transport timers (retransmission timeouts) and generic callbacks.
+PRIORITY_TIMER = 1
+#: PE generator resumptions.
+PRIORITY_RESUME = 2
+
+
+class Event:
+    """One scheduled occurrence: ``fn()`` runs when the event is popped.
+
+    Total ordering is ``(time, priority, seq)``; ``seq`` is assigned by
+    the queue at insertion, so the tuple is always orderable no matter
+    what ``fn`` closes over.
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "cancelled")
+
+    def __init__(self, time: float, priority: int, seq: int, fn: Callable[[], Any]):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Event(t={self.time!r}, prio={self.priority}, seq={self.seq})"
+
+
+class EventQueue:
+    """Deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        #: Simulated time of the last popped event (monotone).
+        self.now = 0.0
+        #: Total events ever pushed (diagnostics).
+        self.pushed = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: float, priority: int, fn: Callable[[], Any]) -> Event:
+        """Schedule ``fn`` at simulated ``time``; returns a cancellable handle."""
+        ev = Event(time, priority, self._seq, fn)
+        self._seq += 1
+        self.pushed += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def pop(self) -> Event | None:
+        """Remove and return the next live event (``None`` when empty).
+
+        Cancelled events are skipped and discarded; ``now`` advances to
+        the returned event's time.
+        """
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self.now = ev.time
+            return ev
+        return None
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event without popping it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

@@ -288,7 +288,7 @@ def test_drain_under_duplicated_delivery_sees_the_copies():
     machine = Machine(2, fault_plan=plan, transport="lossy")
     res = machine.run(_drain_prog)
     got = res.values[1]
-    dups = machine._network.wire_duplicates
+    dups = machine._wire.wire_duplicates
     assert dups > 0, "plan injected no duplicates; pick a new seed"
     # Every original arrives; duplicated copies arrive once more (the
     # wire counter also covers duplicated barrier traffic, hence <=).

@@ -372,3 +372,82 @@ def test_zero_fault_reliable_overhead_within_budget():
         reliable = Machine(4, transport="reliable").run(counting_program, dist, config)
         assert reliable.values[0].triangles_total == direct.values[0].triangles_total
         assert reliable.time <= 1.10 * direct.time
+
+
+def test_event_engine_fault_traces_byte_identical_including_lossy():
+    """Satellite: same seed + fault plan => byte-identical Chrome traces
+    and identical simulated_time across reruns, on the event engine,
+    over both the reliable and the lossy transport."""
+    from repro.obs import chrome_trace_json
+
+    graph = default_chaos_graph()
+    dist = distribute(graph, num_pes=3)
+
+    def one_run(transport):
+        tracer = Tracer()
+        plan = FaultPlan(
+            29, drop_rate=0.05, duplicate_rate=0.03, delay_rate=0.02, reorder_rate=0.02
+        )
+        machine = Machine(3, fault_plan=plan, transport=transport, tracer=tracer)
+        if transport == "reliable":
+            result = machine.run(counting_program, dist, DITRIC_CONFIG)
+        else:
+            # Lossy delivery breaks collectives; use a loss-tolerant toy.
+            def prog(ctx):
+                for i in range(20):
+                    ctx.send((ctx.rank + 1) % ctx.num_pes, ("t", i), i, 2)
+                got = 0
+                for i in range(20):
+                    while ctx.pending(("t", i)):
+                        ctx.try_recv(("t", i))
+                        got += 1
+                    yield
+                return got
+
+            result = machine.run(prog)
+        return result, chrome_trace_json(result.metrics, tracer, run_name="faulty")
+
+    for transport in ("reliable", "lossy"):
+        r1, j1 = one_run(transport)
+        r2, j2 = one_run(transport)
+        assert j1 == j2, transport
+        assert r1.time == r2.time, transport
+        assert r1.events == r2.events, transport
+
+
+def test_fault_injection_bit_identical_between_schedulers():
+    """Compat guarantee extends to faulty runs: the event engine and the
+    round-robin scheduler draw the same fault decisions and charge the
+    same repair costs."""
+    graph = default_chaos_graph()
+    dist = distribute(graph, num_pes=3)
+
+    def one_run(scheduler):
+        plan = FaultPlan(31, drop_rate=0.08, duplicate_rate=0.04, delay_rate=0.03)
+        machine = Machine(3, fault_plan=plan, transport="reliable", scheduler=scheduler)
+        return machine.run(counting_program, dist, DITRIC_CONFIG)
+
+    ev = one_run("event")
+    rr = one_run("round-robin")
+    assert ev.values[0].triangles_total == rr.values[0].triangles_total
+    assert ev.time == rr.time
+    assert ev.events == rr.events
+    assert ev.metrics.total_retransmits == rr.metrics.total_retransmits
+    assert ev.metrics.summary() == rr.metrics.summary()
+
+
+def test_crash_coordinates_bit_identical_between_schedulers():
+    """The full-poll compat discipline replays crash-stop coordinates."""
+    graph = default_chaos_graph()
+    dist = distribute(graph, num_pes=3)
+    dry = Machine(3).run(counting_program, dist, DITRIC_CONFIG)
+    at_event = dry.events // 2
+
+    def crash_run(scheduler):
+        plan = FaultPlan(5, crashes=[CrashEvent(rank=1, at_event=at_event)])
+        machine = Machine(3, fault_plan=plan, scheduler=scheduler)
+        with pytest.raises(PECrashError) as err:
+            machine.run(counting_program, dist, DITRIC_CONFIG)
+        return err.value.rank, err.value.event
+
+    assert crash_run("event") == crash_run("round-robin") == (1, at_event)

@@ -56,6 +56,11 @@ def prog(ctx):
         ctx.charge(1)
     yield
 """,
+    "R13": """
+def prog(ctx):
+    ctx.metrics.clock += 5.0
+    yield
+""",
 }
 
 GOOD = {
@@ -96,6 +101,12 @@ def prog(ctx):
 def prog(ctx):
     router.post_many(dst_ranks, vertices, targets, xadj, neighbors)
     ctx.charge(1)
+    yield
+""",
+    "R13": """
+def prog(ctx):
+    ctx.charge_time(5.0)
+    clock = 5.0
     yield
 """,
 }
@@ -204,7 +215,7 @@ def test_finding_format_is_compiler_style():
 
 
 def test_rule_catalogue_is_complete():
-    assert set(RULES) == {f"R{i}" for i in range(13)}
+    assert set(RULES) == {f"R{i}" for i in range(14)}
 
 
 def test_r5_only_applies_to_marked_programs():
@@ -352,6 +363,68 @@ def prog(ctx):
     for v in vs.tolist():
         queue.post(1, Record(vertex=v, neighbors=empty))  # noqa: R7
         ctx.charge(1)
+    yield
+"""
+    assert lint_source(src) == []
+
+
+def test_r13_flags_time_keyed_and_private_engine_state():
+    # Rewinding a message's send_time forges the network's time ordering.
+    send_time = """
+def prog(ctx):
+    msg = yield from ctx.recv("t")
+    msg.send_time = 0.0
+    yield
+"""
+    assert [f.code for f in lint_source(send_time)] == ["R13"]
+    # Reaching into the context's private mailbox bypasses delivery
+    # accounting (and the engine's wake hooks).
+    inbox = """
+def prog(ctx):
+    ctx._inbox["t"] = []
+    yield
+"""
+    assert [f.code for f in lint_source(inbox)] == ["R13"]
+    # Aliased contexts are still engine state when reached through ctx.
+    nested = """
+def prog(ctx):
+    ctx.machine.network.links[0].busy_until = 99.0
+    yield
+"""
+    assert [f.code for f in lint_source(nested)] == ["R13"]
+
+
+def test_r13_only_polices_spmd_writes():
+    # The engine itself (self-rooted writes, no ctx) owns these fields.
+    engine = """
+class SimEngine:
+    def advance(self, t):
+        self.clock = t
+"""
+    assert lint_source(engine) == []
+    # Reads of engine state are fine; only writes are policed.
+    reads = """
+def prog(ctx):
+    elapsed = ctx.metrics.clock
+    ctx.charge(1)
+    yield
+"""
+    assert lint_source(reads) == []
+    # Plain locals that happen to be named like time fields are fine.
+    local = """
+def prog(ctx):
+    clock = 0.0
+    clock += 1.0
+    ctx.charge(1)
+    yield
+"""
+    assert lint_source(local) == []
+
+
+def test_r13_noqa_escape():
+    src = """
+def prog(ctx):
+    ctx.metrics.clock += 5.0  # noqa: R13 -- test fixture resets the clock
     yield
 """
     assert lint_source(src) == []

@@ -224,3 +224,53 @@ def test_spec_scaled():
     s = SUPERMUC.scaled(alpha=1.0)
     assert s.alpha == 1.0
     assert s.beta == SUPERMUC.beta
+
+
+def test_event_engine_traces_are_byte_identical_across_reruns():
+    """Same program, same seed-free inputs => byte-identical Chrome trace."""
+    from repro.net.trace import Tracer
+    from repro.obs import chrome_trace_json
+
+    def prog(ctx):
+        with ctx.span("exchange"):
+            peer = (ctx.rank + 1) % ctx.num_pes
+            ctx.send(peer, "t", ctx.rank, 3)
+            msg = yield from ctx.recv("t")
+        return msg.payload
+
+    def one_run():
+        tracer = Tracer()
+        res = Machine(4, tracer=tracer).run(prog)
+        return res, chrome_trace_json(res.metrics, tracer, run_name="det")
+
+    r1, j1 = one_run()
+    r2, j2 = one_run()
+    assert j1 == j2
+    assert r1.time == r2.time
+    assert r1.events == r2.events
+    assert r1.engine.steps == r2.engine.steps
+
+
+def test_contended_engine_traces_are_byte_identical_across_reruns():
+    from repro.net import Network
+    from repro.net.trace import Tracer
+    from repro.obs import chrome_trace_json
+
+    def prog(ctx):
+        dest = ctx.num_pes - 1 - ctx.rank
+        if dest != ctx.rank:
+            ctx.send(dest, "t", None, 20)
+            yield from ctx.recv("t")
+        return ctx.clock
+
+    def one_run():
+        tracer = Tracer()
+        res = Machine(
+            6, network=Network(model="contended", node_size=2), tracer=tracer
+        ).run(prog)
+        return res, chrome_trace_json(res.metrics, tracer, run_name="det")
+
+    r1, j1 = one_run()
+    r2, j2 = one_run()
+    assert j1 == j2
+    assert r1.time == r2.time and r1.events == r2.events

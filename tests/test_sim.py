@@ -1,0 +1,391 @@
+"""The event-driven simulation engine (``repro.sim``).
+
+Three contracts under test:
+
+1. **Compat bit-identity** (the migration guarantee): under the default
+   ``Network(model="alpha-beta")``, the event scheduler replays the
+   legacy round-robin scheduler bit-identically — same values, same
+   ``simulated_time``, same per-PE message/word counters, same event
+   counter — across all eight algorithm variants (fingerprint in the
+   style of ``tests/test_frames.py``).
+2. **Exact deadlock detection**: an all-blocked machine raises
+   :class:`DeadlockError` from the empty event queue immediately, with
+   the full per-PE forensics; courtesy yields never trip it.
+3. **Contention**: the ``"contended"`` network model queues messages on
+   busy links (arrival later than alpha-beta), bypasses links within a
+   node, and stays deterministic.
+"""
+
+import pytest
+
+from repro.analysis.runner import _ENGINE_CONFIGS
+from repro.baselines.havoqgt import havoqgt_program
+from repro.baselines.tric import tric_program
+from repro.core.edge_iterator import edge_iterator
+from repro.core.engine import counting_program
+from repro.graphs import distribute
+from repro.graphs import generators as gen
+from repro.net import DeadlockError, Machine, Network
+from repro.net.comm import barrier, sparse_alltoall
+from repro.sim import (
+    PRIORITY_DELIVERY,
+    PRIORITY_RESUME,
+    PRIORITY_TIMER,
+    EventQueue,
+    NetworkStats,
+)
+from repro.sim.engine import LIVELOCK_ROUNDS
+
+
+# ---------------------------------------------------------------------------
+# Event queue units
+# ---------------------------------------------------------------------------
+
+
+def test_event_queue_orders_by_time_then_priority_then_seq():
+    q = EventQueue()
+    order = []
+    q.push(2.0, PRIORITY_RESUME, lambda: order.append("late"))
+    q.push(1.0, PRIORITY_RESUME, lambda: order.append("resume"))
+    q.push(1.0, PRIORITY_TIMER, lambda: order.append("timer"))
+    q.push(1.0, PRIORITY_DELIVERY, lambda: order.append("delivery-a"))
+    q.push(1.0, PRIORITY_DELIVERY, lambda: order.append("delivery-b"))
+    while True:
+        ev = q.pop()
+        if ev is None:
+            break
+        ev.fn()
+    # Same time: deliveries first, then timers, then resumes; equal
+    # (time, priority) resolved by insertion order.
+    assert order == ["delivery-a", "delivery-b", "timer", "resume", "late"]
+    assert q.now == 2.0
+
+
+def test_event_queue_cancellation_and_peek():
+    q = EventQueue()
+    keep = q.push(1.0, PRIORITY_TIMER, lambda: "keep")
+    drop = q.push(0.5, PRIORITY_TIMER, lambda: "drop")
+    drop.cancelled = True
+    assert q.peek_time() == 1.0
+    assert q.pop() is keep
+    assert q.pop() is None
+    assert len(q) == 0 and not q
+
+
+def test_event_queue_now_is_monotone():
+    q = EventQueue()
+    q.push(3.0, PRIORITY_TIMER, lambda: None)
+    q.push(1.0, PRIORITY_TIMER, lambda: None)
+    assert q.pop().time == 1.0
+    assert q.now == 1.0
+    assert q.pop().time == 3.0
+    assert q.now == 3.0
+
+
+# ---------------------------------------------------------------------------
+# Network units
+# ---------------------------------------------------------------------------
+
+
+def test_network_validation():
+    with pytest.raises(ValueError):
+        Network(model="token-ring")
+    with pytest.raises(ValueError):
+        Network(node_size=0)
+    with pytest.raises(ValueError):
+        Network(oversubscription=0.5)
+
+
+def test_alpha_beta_network_is_instant():
+    from repro.net import DEFAULT_SPEC
+
+    net = Network()
+    net.bind(DEFAULT_SPEC, 8)
+    assert net.arrival_time(0, 7, 100, 3.5) == 3.5
+    stats = net.stats()
+    assert stats.queue_seconds == 0.0 and stats.links_used == 0
+
+
+def test_contended_links_queue_and_intra_node_bypasses():
+    from repro.net import DEFAULT_SPEC
+
+    net = Network(model="contended", node_size=4)
+    net.bind(DEFAULT_SPEC, 8)
+    transit = net.transit_time(10)
+    # Intra-node: no link claimed, arrival is the injection time.
+    assert net.arrival_time(0, 3, 10, 1.0) == 1.0
+    # First inter-node message: uplink then downlink, no queueing.
+    a1 = net.arrival_time(0, 4, 10, 0.0)
+    assert a1 == pytest.approx(2 * transit)
+    # Second message injected at the same instant queues behind it on
+    # both links.
+    a2 = net.arrival_time(1, 5, 10, 0.0)
+    assert a2 > a1
+    stats = net.stats()
+    assert stats.queue_seconds > 0.0
+    assert stats.max_link_queue_seconds > 0.0
+    assert stats.messages == 4  # 2 messages x (uplink + downlink)
+
+
+def test_bind_rederives_constants_and_resets_links():
+    from repro.net import DEFAULT_SPEC
+
+    net = Network(model="contended", node_size=2, oversubscription=2.0)
+    net.bind(DEFAULT_SPEC, 4)
+    assert net.link_alpha == DEFAULT_SPEC.alpha
+    assert net.link_beta == pytest.approx(2.0 * DEFAULT_SPEC.beta)
+    net.arrival_time(0, 2, 5, 0.0)
+    assert net.stats().messages > 0
+    net.bind(DEFAULT_SPEC, 4)
+    assert net.stats().messages == 0
+
+
+# ---------------------------------------------------------------------------
+# Machine facade / scheduler selection
+# ---------------------------------------------------------------------------
+
+
+def test_unknown_scheduler_rejected():
+    with pytest.raises(ValueError, match="scheduler"):
+        Machine(2, scheduler="fifo")
+
+
+def test_round_robin_refuses_contended_network():
+    with pytest.raises(ValueError, match="round-robin"):
+        Machine(2, network=Network(model="contended"), scheduler="round-robin")
+
+
+def test_engine_stats_reported_only_by_event_scheduler():
+    def prog(ctx):
+        yield from barrier(ctx)
+        return ctx.rank
+
+    ev = Machine(4).run(prog)
+    rr = Machine(4, scheduler="round-robin").run(prog)
+    assert ev.engine is not None and ev.engine.discipline == "compat-heap"
+    assert ev.engine.steps > 0 and ev.engine.wakeups > 0
+    assert rr.engine is None
+    # alpha-beta runs carry no link stats (nothing to contend for).
+    assert ev.network is None
+
+
+# ---------------------------------------------------------------------------
+# Compat bit-identity fingerprint: 2 generators x 3 seeds x 8 variants
+# ---------------------------------------------------------------------------
+
+ALGOS = (*_ENGINE_CONFIGS, "tric", "havoqgt")
+
+
+def _program_of(algorithm, dist):
+    if algorithm in _ENGINE_CONFIGS:
+        return counting_program, (dist, _ENGINE_CONFIGS[algorithm])
+    if algorithm == "tric":
+        return tric_program, (dist,)
+    return havoqgt_program, (dist,)
+
+
+def _graph(generator, seed):
+    if generator == "rmat":
+        return gen.rmat(8, 8, seed=seed)
+    return gen.rgg3d(300, expected_edges=2400, seed=seed)
+
+
+def _triangles_of(value):
+    return getattr(value, "triangles_total", None) or getattr(value, "triangles", value)
+
+
+@pytest.mark.parametrize("seed", [101, 102, 103])
+@pytest.mark.parametrize("generator", ["rmat", "rgg3d"])
+def test_event_scheduler_is_bit_identical_to_round_robin(generator, seed):
+    graph = _graph(generator, seed)
+    truth = edge_iterator(graph).triangles
+    dist = distribute(graph, num_pes=4)
+    for algorithm in ALGOS:
+        program, args = _program_of(algorithm, dist)
+        ev = Machine(4).run(program, *args)
+        rr = Machine(4, scheduler="round-robin").run(program, *args)
+        label = f"{algorithm}/{generator}/{seed}"
+        # Same answer, and the right one.
+        assert _triangles_of(ev.values[0]) == truth, label
+        # Bit-identical simulated time and event counter.
+        assert ev.time == rr.time, label
+        assert ev.events == rr.events, label
+        # Bit-identical per-PE communication accounting.
+        for em, rm in zip(ev.metrics.per_pe, rr.metrics.per_pe):
+            assert em.clock == rm.clock, label
+            assert em.messages_sent == rm.messages_sent, label
+            assert em.words_sent == rm.words_sent, label
+            assert em.messages_received == rm.messages_received, label
+            assert em.words_received == rm.words_received, label
+
+
+# ---------------------------------------------------------------------------
+# Exact deadlock detection + livelock guard
+# ---------------------------------------------------------------------------
+
+
+def test_exact_deadlock_detected_with_forensics():
+    def prog(ctx):
+        if ctx.rank == 0:
+            yield from ctx.recv("never-sent")
+        return None
+        yield  # pragma: no cover
+
+    with pytest.raises(DeadlockError) as err:
+        Machine(2).run(prog)
+    msg = str(err.value)
+    assert "exact deadlock" in msg
+    assert "waiting PEs: [0]" in msg
+    assert "blocked on recv" in msg and "never-sent" in msg
+
+
+def test_courtesy_yields_do_not_deadlock_event_scheduler():
+    def prog(ctx):
+        for _ in range(LIVELOCK_ROUNDS - 2):
+            yield
+        return ctx.rank
+
+    res = Machine(3).run(prog)
+    assert res.values == [0, 1, 2]
+
+
+def test_livelock_guard_catches_infinite_spinner():
+    def prog(ctx):
+        if ctx.rank == 0:
+            while True:
+                yield  # never blocks, never progresses
+        return None
+        yield  # pragma: no cover
+
+    with pytest.raises(DeadlockError) as err:
+        Machine(2).run(prog)
+    assert "livelock" in str(err.value)
+
+
+def test_wakeup_mid_round_matches_round_robin_order():
+    """A message sent by a lower rank wakes a higher rank in-round."""
+
+    def prog(ctx):
+        if ctx.rank == 0:
+            ctx.charge(10)
+            ctx.send(2, "t", "x", 1)
+        elif ctx.rank == 2:
+            msg = yield from ctx.recv("t")
+            return msg.payload
+        return None
+        yield  # pragma: no cover
+
+    ev = Machine(3).run(prog)
+    rr = Machine(3, scheduler="round-robin").run(prog)
+    assert ev.values == rr.values == [None, None, "x"]
+    assert ev.time == rr.time
+    assert ev.events == rr.events
+
+
+# ---------------------------------------------------------------------------
+# Contended model end-to-end
+# ---------------------------------------------------------------------------
+
+
+def _pairwise_exchange(ctx):
+    """Every PE sends one message to its cross-node partner and drains."""
+    payloads = [(ctx.num_pes - 1 - ctx.rank, ctx.rank, 50)]
+    got = yield from sparse_alltoall(ctx, payloads, tag_label="x")
+    return sorted(m.payload for m in got)
+
+
+def test_contention_slows_the_same_program_down():
+    flat = Machine(8).run(_pairwise_exchange)
+    contended = Machine(
+        8, network=Network(model="contended", node_size=4)
+    ).run(_pairwise_exchange)
+    assert contended.values == flat.values  # same answers...
+    assert contended.time > flat.time  # ...later arrivals
+    assert isinstance(contended.network, NetworkStats)
+    assert contended.network.queue_seconds > 0.0
+    assert contended.engine.discipline == "des"
+
+
+def test_intra_node_traffic_matches_alpha_beta_time():
+    """A node-local exchange never touches a link: times are identical."""
+
+    def local_pingpong(ctx):
+        peer = ctx.rank ^ 1
+        if ctx.rank % 2 == 0:
+            ctx.send(peer, "ping", None, 5)
+            yield from ctx.recv("pong")
+        else:
+            yield from ctx.recv("ping")
+            ctx.send(peer, "pong", None, 5)
+        return ctx.clock
+
+    flat = Machine(4).run(local_pingpong)
+    contended = Machine(4, network=Network(model="contended", node_size=4)).run(
+        local_pingpong
+    )
+    assert contended.values == flat.values
+    assert contended.time == flat.time
+    assert contended.network.links_used == 0
+
+
+def test_contended_run_is_deterministic():
+    def run_once():
+        res = Machine(8, network=Network(model="contended", node_size=2)).run(
+            _pairwise_exchange
+        )
+        return res.time, res.events, res.network, res.values
+
+    assert run_once() == run_once()
+
+
+def test_sync_sends_is_noop_under_instant_delivery():
+    def prog(ctx):
+        steps = 0
+        ctx.send((ctx.rank + 1) % ctx.num_pes, "t", None, 1)
+        for _ in ctx.sync_sends():
+            steps += 1
+        yield from ctx.recv("t")
+        return steps
+        yield  # pragma: no cover
+
+    res = Machine(3).run(prog)
+    assert res.values == [0, 0, 0]
+
+
+def test_deadlock_forensics_name_blocked_sync_sends():
+    """A PE parked in sync_sends shows up as such in the diagnostic."""
+
+    def prog(ctx):
+        if ctx.rank == 0:
+            # Fill the link, then wait for delivery that requires rank 1
+            # to... never exist: rank 1 blocks forever first.
+            ctx.send(2, "t", None, 10)
+            yield from ctx.sync_sends()
+            yield from ctx.recv("never")
+        elif ctx.rank == 1:
+            yield from ctx.recv("never")
+        else:
+            yield from ctx.recv("t")
+            yield from ctx.recv("never")
+        return None
+        yield  # pragma: no cover
+
+    with pytest.raises(DeadlockError) as err:
+        Machine(4, network=Network(model="contended", node_size=1)).run(prog)
+    msg = str(err.value)
+    assert "exact deadlock" in msg
+    assert "blocked on recv" in msg
+
+
+def test_fingerprint_algorithms_run_on_contended_network():
+    """The counting engines produce exact counts under contention too."""
+    graph = gen.rmat(8, 8, seed=17)
+    truth = edge_iterator(graph).triangles
+    dist = distribute(graph, num_pes=4)
+    for algorithm in ("ditric", "cetric"):
+        program, args = _program_of(algorithm, dist)
+        res = Machine(
+            4, network=Network(model="contended", node_size=2)
+        ).run(program, *args)
+        assert _triangles_of(res.values[0]) == truth, algorithm
+        assert res.time > 0.0
