@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint lint-flow bench bench-smoke chaos examples report clean
+.PHONY: install test lint lint-flow bench bench-smoke chaos chaos-localized examples report clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -15,6 +15,14 @@ test:
 chaos:
 	PYTHONPATH=src $(PYTHON) -m repro chaos --seeds 3 --drop-rates 0,0.05 \
 		--algorithms ditric,cetric
+
+# Same campaign under online localized recovery: one timed PE crash
+# per case is heartbeat-detected, partner-restored, and log-replayed
+# inside a single run — counts stay exact and survivors never
+# re-execute a phase (docs/FAULTS.md).
+chaos-localized:
+	PYTHONPATH=src $(PYTHON) -m repro chaos --seeds 5 --drop-rates 0,0.02 \
+		--algorithms ditric,cetric --recovery localized
 
 # ruff (style) + repro.lint (SPMD protocol rules R1-R12, see
 # docs/SPMD_CONTRACT.md).  ruff is optional locally; CI installs it.

@@ -15,7 +15,9 @@ Subcommands
     Static SPMD-protocol checks (rules R1-R6) over source trees.
 ``chaos``
     Fault-injection campaign: sweep seeds x drop rates (plus one
-    scheduled PE crash) and assert exact counts (``docs/FAULTS.md``).
+    scheduled PE crash) and assert exact counts; ``--recovery
+    localized`` recovers crashes in place instead of restarting
+    (``docs/FAULTS.md``).
 ``bench``
     Instrumented benchmark run: emit a normalized record into
     ``BENCH_<date>.json``, write a Chrome/Perfetto trace, print the
@@ -31,6 +33,7 @@ Examples
     repro-tc sweep --graph dataset:webbase-2001 --max-pes 32
     repro-tc datasets --scale 0.5
     repro-tc chaos --seeds 5 --drop-rates 0,0.05 --algorithms cetric
+    repro-tc chaos --seeds 5 --drop-rates 0 --recovery localized
     repro-tc bench --algo cetric --gen rmat -p 16
     repro-tc bench --suite smoke --baseline benchmarks/baseline/BENCH_baseline.json
 """
@@ -241,6 +244,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         crash_fraction=None if args.no_crash else args.crash_fraction,
         graph=graph,
         num_pes=args.pes,
+        recovery=args.recovery,
     )
     print(format_campaign(outcomes))
     return 0 if all(o.exact for o in outcomes) else 1
@@ -433,6 +437,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ch.add_argument("--no-crash", action="store_true", help="disable the PE crash")
     ch.add_argument("-p", "--pes", type=int, default=4, help="simulated PEs")
+    ch.add_argument(
+        "--recovery",
+        choices=("global", "localized"),
+        default="global",
+        help="crash recovery: restart from the last stable checkpoint "
+        "(global) or heartbeat-detect + partner-restore + log-replay "
+        "in place (localized)",
+    )
     ch.set_defaults(func=_cmd_chaos)
 
     b = sub.add_parser(

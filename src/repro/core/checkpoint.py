@@ -45,6 +45,7 @@ import numpy as np
 from ..net.machine import Machine, MachineResult, PECrashError
 
 __all__ = [
+    "BuddyCheckpointStore",
     "CheckpointStore",
     "RecoveryResult",
     "run_with_recovery",
@@ -78,6 +79,12 @@ class CheckpointStore:
     deep-copied on the way in *and* out — a program mutating restored
     state cannot corrupt the stored copy a later restart will need.
     """
+
+    #: Whether snapshots are replicated to a partner rank (the buddy
+    #: scheme localized recovery restores from).  Plain stores are
+    #: stable-storage only; ``Machine(recovery="localized")`` rejects
+    #: them (lint rule R14 flags it statically).
+    supports_partner_replication = False
 
     def __init__(self, num_pes: int):
         if num_pes < 1:
@@ -151,6 +158,57 @@ class CheckpointStore:
         return stable
 
 
+class BuddyCheckpointStore(CheckpointStore):
+    """Checkpoints with partner replication (localized recovery).
+
+    Each rank's snapshots are also held by a *partner* rank at offset
+    ``partner_offset`` (mod p) — the simulated analogue of buddy
+    checkpointing, where recovery state survives a single failure
+    without a global stable-storage round.  ``ctx.checkpoint`` prices
+    the replica shipment as a real message (both endpoints pay
+    ``alpha + beta * words``), and localized recovery restores a
+    crashed rank from :meth:`replica_words` worth of partner data
+    instead of re-reading global storage.
+
+    The store itself keeps one authoritative copy per rank (this is a
+    simulation — the partner's replica is the *cost* of the scheme,
+    not a second data structure); what the buddy discipline changes is
+    who pays, and that a respawned rank can rewind alone:
+    :meth:`respawn_rank` resets one cursor where the coordinated
+    :meth:`prune_to_stable` would have discarded every rank's tail.
+    Simultaneous failure of a rank *and* its partner is out of scope
+    (it would need a second replica level).
+    """
+
+    supports_partner_replication = True
+
+    def __init__(self, num_pes: int, *, partner_offset: int = 1):
+        super().__init__(num_pes)
+        if num_pes > 1 and partner_offset % num_pes == 0:
+            raise ValueError(
+                "partner_offset must not map a rank onto itself (mod num_pes)"
+            )
+        self.partner_offset = int(partner_offset)
+
+    def partner_of(self, rank: int) -> int:
+        """The rank holding ``rank``'s checkpoint replicas."""
+        return (rank + self.partner_offset) % self.num_pes
+
+    def replica_words(self, rank: int) -> int:
+        """Words the partner ships to restore ``rank`` (all snapshots)."""
+        return sum(words for _, _, words in self._snaps[rank])
+
+    def respawn_rank(self, rank: int) -> None:
+        """Rewind one rank's replay cursor for an in-place respawn.
+
+        Localized recovery's counterpart of :meth:`begin_run`: only
+        the crashed rank re-executes, so only its cursor rewinds —
+        survivors' cursors (already past their snapshots) are
+        untouched, and no global stable-prefix pruning is needed.
+        """
+        self._cursors[rank] = 0
+
+
 @dataclass
 class RecoveryResult:
     """A completed run plus the crash/restart history that produced it."""
@@ -160,6 +218,9 @@ class RecoveryResult:
     restarts: int
     #: ``(rank, event_index)`` of each crash, in order.
     crashes: tuple[tuple[int, int], ...] = field(default=())
+    #: Simulated makespan of each *aborted* attempt at the moment its
+    #: crash fired — the work global restart throws away.
+    attempt_times: tuple[float, ...] = field(default=())
 
     @property
     def values(self) -> list[Any]:
@@ -170,6 +231,23 @@ class RecoveryResult:
     def time(self) -> float:
         """Modelled running time of the surviving run."""
         return self.result.time
+
+    @property
+    def lost_time(self) -> float:
+        """Simulated seconds spent on attempts that were thrown away."""
+        return sum(self.attempt_times)
+
+    @property
+    def total_time(self) -> float:
+        """Cumulative simulated cost across *all* attempts.
+
+        ``lost_time + time`` — what the machine actually paid for the
+        answer, as opposed to :attr:`time`, which only prices the
+        surviving run and silently hides the cost of global restarts.
+        This is the number localized recovery competes against in
+        ``benchmarks/bench_recovery.py``.
+        """
+        return self.lost_time + self.result.time
 
 
 def run_with_recovery(
@@ -197,15 +275,24 @@ def run_with_recovery(
         machine.checkpoint_store = CheckpointStore(machine.num_pes)
     store = machine.checkpoint_store
     crashes: list[tuple[int, int]] = []
+    attempt_times: list[float] = []
     while True:
         store.prune_to_stable()
         try:
             result = machine.run(program, *args, **kwargs)
         except PECrashError as crash:
             crashes.append((crash.rank, crash.event))
+            # The aborted attempt's cost is its makespan at the crash:
+            # every PE ran (and is thrown away) up to that point.
+            attempt_times.append(
+                max((c.metrics.clock for c in machine._contexts), default=0.0)
+            )
             if len(crashes) > max_restarts:
                 raise
             continue
         return RecoveryResult(
-            result=result, restarts=len(crashes), crashes=tuple(crashes)
+            result=result,
+            restarts=len(crashes),
+            crashes=tuple(crashes),
+            attempt_times=tuple(attempt_times),
         )

@@ -7,15 +7,21 @@ finish with *exact* triangle counts anyway:
 
 * :class:`~repro.faults.plan.FaultPlan` — a seeded, declarative plan
   of message drops / duplicates / delays / reorderings, scheduled
-  PE crash-stops, and per-rank straggler slowdowns.  The
-  :class:`~repro.net.machine.Machine` consults it at every send,
-  delivery, and scheduling step.
+  PE crash-stops (event-indexed or timed), and per-rank straggler
+  slowdowns.  The :class:`~repro.net.machine.Machine` consults it at
+  every send, delivery, and scheduling step.
 * :mod:`repro.net.reliable` — the reliable-transport layer (sequence
   numbers, acks, timeout + exponential-backoff retransmit, dedup on
-  receive) whose costs are charged to the alpha-beta model.
-* :mod:`repro.core.checkpoint` — coordinated checkpoint/restart:
-  phase-boundary snapshots plus :func:`run_with_recovery`, which
-  restarts crashed runs from the last globally stable checkpoint.
+  receive) whose costs are charged to the alpha-beta model.  Under
+  localized recovery it doubles as the sender-based message log.
+* :mod:`repro.core.checkpoint` — checkpoint stores: phase-boundary
+  snapshots plus :func:`run_with_recovery` (global restart from the
+  last stable checkpoint) and :class:`BuddyCheckpointStore`
+  (partner-replicated snapshots for localized recovery).
+* :mod:`repro.faults.recovery` — online localized recovery: heartbeat
+  failure detection, partner-checkpoint restore, and message-log
+  replay, all in-run and charged to the alpha-beta model
+  (``Machine(recovery="localized")``).
 * :mod:`repro.faults.chaos` — the chaos harness: sweeps seeds x fault
   rates x crashes and asserts count-exactness against the sequential
   baseline (``repro-tc chaos`` on the command line).
@@ -24,7 +30,12 @@ See ``docs/FAULTS.md`` for the fault model, recovery semantics, and
 determinism guarantees.
 """
 
-from ..core.checkpoint import CheckpointStore, RecoveryResult, run_with_recovery
+from ..core.checkpoint import (
+    BuddyCheckpointStore,
+    CheckpointStore,
+    RecoveryResult,
+    run_with_recovery,
+)
 from ..net.reliable import (
     ReliableConfig,
     TransportError,
@@ -38,11 +49,20 @@ from .chaos import (
     run_campaign,
     run_chaos_case,
 )
-from .plan import CrashEvent, FaultPlan
+from .plan import CrashEvent, FaultPlan, TimedCrash
+from .recovery import (
+    DEFAULT_RECOVERY_CONFIG,
+    MembershipEvent,
+    RecoveryConfig,
+    RecoveryManager,
+    RecoveryReport,
+)
 
 __all__ = [
     "CrashEvent",
     "FaultPlan",
+    "TimedCrash",
+    "BuddyCheckpointStore",
     "CheckpointStore",
     "RecoveryResult",
     "run_with_recovery",
@@ -50,6 +70,11 @@ __all__ = [
     "TransportError",
     "fault_tolerant",
     "reliable_send",
+    "DEFAULT_RECOVERY_CONFIG",
+    "MembershipEvent",
+    "RecoveryConfig",
+    "RecoveryManager",
+    "RecoveryReport",
     "CHAOS_ALGORITHMS",
     "ChaosOutcome",
     "format_campaign",

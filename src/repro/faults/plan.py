@@ -36,7 +36,35 @@ from typing import Any, Mapping
 
 import numpy as np
 
-__all__ = ["CrashEvent", "FaultPlan"]
+__all__ = ["CrashEvent", "FaultPlan", "TimedCrash"]
+
+
+@dataclass(frozen=True)
+class TimedCrash:
+    """Crash-stop of one PE, scheduled by *simulated time*.
+
+    Event-indexed :class:`CrashEvent` schedules land a crash at a
+    reproducible point of the protocol, but heartbeat-based failure
+    detection (``Machine(recovery="localized")``) reasons in simulated
+    seconds — a detection timeout is meaningless against an event
+    counter.  A ``TimedCrash`` fires as a timer event of the
+    :class:`~repro.sim.engine.SimEngine` at ``at_time`` simulated
+    seconds, so it requires the contended network model (the DES
+    discipline); the machine rejects timed crashes on instant
+    alpha-beta networks, whose engine runs no time loop.
+
+    Like event-indexed crashes, each timed crash fires at most once
+    per plan instance and is re-armed by :meth:`FaultPlan.reset`.
+    """
+
+    rank: int
+    at_time: float
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError("crash rank must be non-negative")
+        if self.at_time < 0:
+            raise ValueError("crash time must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -86,6 +114,10 @@ class FaultPlan:
     crashes:
         :class:`CrashEvent` schedule; each event fires at most once
         per plan instance.
+    crash_at_time:
+        :class:`TimedCrash` schedule keyed by simulated seconds
+        instead of event index; requires the contended network model.
+        Each timed crash also fires at most once per plan instance.
     stragglers:
         ``rank -> slowdown`` factors (>= 1): every charged compute and
         message cost of that PE is multiplied by the factor.
@@ -101,6 +133,7 @@ class FaultPlan:
         delay_alphas: float = 16.0,
         reorder_rate: float = 0.0,
         crashes: tuple[CrashEvent, ...] = (),
+        crash_at_time: tuple[TimedCrash, ...] = (),
         stragglers: Mapping[int, float] | None = None,
     ):
         for name, rate in (
@@ -123,6 +156,7 @@ class FaultPlan:
         self.delay_alphas = float(delay_alphas)
         self.reorder_rate = float(reorder_rate)
         self.crashes = tuple(crashes)
+        self.crash_at_time = tuple(crash_at_time)
         self.stragglers = stragglers
         self.reset()
 
@@ -133,10 +167,16 @@ class FaultPlan:
         """Rewind the decision RNG and re-arm all crash events."""
         self._rng = np.random.default_rng(self.seed)
         self._fired: set[int] = set()
+        self._fired_timed: set[int] = set()
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @property
+    def any_crashes(self) -> bool:
+        """Whether the plan schedules any crash (event- or time-keyed)."""
+        return bool(self.crashes) or bool(self.crash_at_time)
+
     @property
     def any_message_faults(self) -> bool:
         """Whether any wire-level fault class has a non-zero rate."""
@@ -157,6 +197,7 @@ class FaultPlan:
             "delay_alphas": self.delay_alphas,
             "reorder_rate": self.reorder_rate,
             "crashes": [(c.rank, c.at_event) for c in self.crashes],
+            "crash_at_time": [(c.rank, c.at_time) for c in self.crash_at_time],
             "stragglers": dict(self.stragglers),
         }
 
@@ -168,14 +209,19 @@ class FaultPlan:
             CrashEvent(rank=int(r), at_event=int(e))
             for r, e in spec.pop("crashes", ())
         )
+        timed = tuple(
+            TimedCrash(rank=int(r), at_time=float(t))
+            for r, t in spec.pop("crash_at_time", ())
+        )
         seed = int(spec.pop("seed", 0))
-        return cls(seed, crashes=crashes, **spec)
+        return cls(seed, crashes=crashes, crash_at_time=timed, **spec)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"FaultPlan(seed={self.seed}, drop={self.drop_rate}, "
             f"dup={self.duplicate_rate}, delay={self.delay_rate}, "
             f"reorder={self.reorder_rate}, crashes={len(self.crashes)}, "
+            f"timed_crashes={len(self.crash_at_time)}, "
             f"stragglers={len(self.stragglers)})"
         )
 
@@ -214,3 +260,16 @@ class FaultPlan:
                 self._fired.add(i)
                 return True
         return False
+
+    def claim_timed(self, index: int) -> bool:
+        """Fire (at most once) the timed crash at ``index``.
+
+        The engine schedules one timer event per entry of
+        ``crash_at_time``; the first claim wins and later claims (from
+        restart attempts that re-register timers) are rejected, so a
+        crash-stopped PE does not crash again after recovery.
+        """
+        if index in self._fired_timed:
+            return False
+        self._fired_timed.add(index)
+        return True

@@ -75,6 +75,14 @@ RULES: dict[str, str] = {
         "through the PEContext API so the event engine stays the single "
         "writer of simulated time"
     ),
+    "R14": (
+        "localized-recovery misuse: Machine(recovery='localized') built "
+        "with a non-partner-capable CheckpointStore (restore has no "
+        "replica to ship), or restored state mutated in a "
+        "@fault_tolerant program without a later ctx.checkpoint — after "
+        "an in-place respawn the partner replica no longer matches the "
+        "state survivors assume"
+    ),
     "R0": "file could not be parsed or read",
 }
 

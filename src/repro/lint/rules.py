@@ -1,4 +1,4 @@
-"""AST rules enforcing the SPMD protocol contract (R1–R7, R13).
+"""AST rules enforcing the SPMD protocol contract (R1–R7, R13, R14).
 
 The machine in :mod:`repro.net.machine` runs SPMD programs written as
 generators; its correctness contract (``docs/SPMD_CONTRACT.md``) cannot
@@ -56,6 +56,21 @@ R13
     engine's heap ordering from the per-PE clocks (a PE's pending
     resume event was scheduled at the *old* clock), so the run stops
     being a pure function of its inputs.
+R14
+    Localized recovery (``Machine(recovery="localized")``) restores a
+    crashed rank from its *partner's* checkpoint replica, so it only
+    works with a partner-replication-capable store and with restored
+    state that still matches what the survivors replayed against.  Two
+    shapes break this: (a) constructing
+    ``Machine(..., recovery="localized",
+    checkpoint_store=CheckpointStore(...))`` — a plain store has no
+    replica to ship (the machine also rejects it at runtime; the rule
+    catches it before any run); (b) inside a ``@fault_tolerant``
+    program, mutating a name bound from ``ctx.restore(...)`` (an
+    ``.append``/``.update``/item write) with no ``ctx.checkpoint``
+    afterwards — after an in-place respawn the partner replica would
+    resurrect the *pre-mutation* state while survivors replay messages
+    computed from the mutated one.
 R7
     The message hot path must stay vectorized: unpacking numpy arrays
     element-wise (``.tolist()``, ``zip(a.tolist(), ...)``,
@@ -141,6 +156,25 @@ NP_GLOBAL_RANDOM = frozenset(
 #: them from program code desynchronizes the scheduler's heap from the
 #: simulated clocks.
 TIME_KEYED_ATTRS = frozenset({"clock", "send_time", "busy_until"})
+
+#: Container methods that mutate their receiver in place (R14b).
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "remove",
+        "discard",
+        "pop",
+        "popitem",
+        "clear",
+        "setdefault",
+        "sort",
+        "reverse",
+    }
+)
 
 
 def _is_ctx_expr(node: ast.AST) -> bool:
@@ -335,6 +369,7 @@ class _Checker(ast.NodeVisitor):
         self._fn_stack.append(_FunctionInfo(node))
         saved_regions = self._rank_regions
         self._rank_regions = []
+        self._check_r14_restored_mutations(self._fn_stack[-1])
         self.generic_visit(node)
         self._rank_regions = saved_regions
         self._fn_stack.pop()
@@ -519,6 +554,113 @@ class _Checker(ast.NodeVisitor):
                 f"(use ctx.charge_time for modelled delays)",
             )
 
+    # -- R14: localized recovery misuse ----------------------------------
+    @staticmethod
+    def _callee_name(call: ast.Call) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        return None
+
+    def _check_r14_machine(self, node: ast.Call) -> None:
+        """R14a: ``Machine(recovery='localized')`` with a plain store."""
+        if self._callee_name(node) != "Machine":
+            return
+        kwargs = {kw.arg: kw.value for kw in node.keywords if kw.arg}
+        mode = kwargs.get("recovery")
+        if not (isinstance(mode, ast.Constant) and mode.value == "localized"):
+            return
+        store = kwargs.get("checkpoint_store")
+        if (
+            isinstance(store, ast.Call)
+            and self._callee_name(store) == "CheckpointStore"
+        ):
+            self._emit(
+                node,
+                "R14",
+                "Machine(recovery='localized') built with a plain "
+                "CheckpointStore — localized recovery restores a crashed "
+                "rank from its partner's replica, which a stable-storage "
+                "store never ships; use BuddyCheckpointStore (or omit "
+                "checkpoint_store to get one)",
+            )
+
+    def _check_r14_restored_mutations(self, info: _FunctionInfo) -> None:
+        """R14b: restored state mutated with no later re-checkpoint.
+
+        Only ``@fault_tolerant`` programs are policed: they are the ones
+        localized recovery respawns from partner replicas, where a
+        mutation the replica never saw resurrects pre-mutation state
+        while survivors replay messages computed from the mutated one.
+        """
+        if not info.is_fault_tolerant:
+            return
+        body_nodes = list(_walk_no_nested_functions(info.node.body))
+        restored: dict[str, int] = {}
+        for n in body_nodes:
+            if (
+                isinstance(n, ast.Assign)
+                and isinstance(n.value, ast.Call)
+                and isinstance(n.value.func, ast.Attribute)
+                and n.value.func.attr == "restore"
+                and _is_ctx_expr(n.value.func.value)
+            ):
+                for t in n.targets:
+                    if isinstance(t, ast.Name):
+                        restored[t.id] = n.lineno
+        if not restored:
+            return
+        last_checkpoint = max(
+            (
+                n.lineno
+                for n in body_nodes
+                if isinstance(n, ast.Call)
+                and isinstance(n.func, ast.Attribute)
+                and n.func.attr == "checkpoint"
+                and _is_ctx_expr(n.func.value)
+            ),
+            default=-1,
+        )
+
+        def flag(name: str, node: ast.AST, how: str) -> None:
+            if node.lineno <= restored[name]:
+                return
+            if node.lineno < last_checkpoint:
+                return  # a later ctx.checkpoint refreshes the replica
+            self._emit(
+                node,
+                "R14",
+                f"{how} mutates '{name}' (bound from ctx.restore) with no "
+                f"ctx.checkpoint afterwards — after an in-place respawn "
+                f"the partner replica restores the pre-mutation state "
+                f"while survivors replay against the mutated one; "
+                f"re-checkpoint after the mutation",
+            )
+
+        for n in body_nodes:
+            if (
+                isinstance(n, ast.Call)
+                and isinstance(n.func, ast.Attribute)
+                and n.func.attr in MUTATING_METHODS
+                and isinstance(n.func.value, ast.Name)
+                and n.func.value.id in restored
+            ):
+                flag(n.func.value.id, n, f"'.{n.func.attr}(...)'")
+            elif isinstance(n, (ast.Assign, ast.AugAssign)):
+                targets = n.targets if isinstance(n, ast.Assign) else [n.target]
+                for t in targets:
+                    chain = self._attr_chain(t)
+                    if chain is None or chain[0] not in restored:
+                        continue
+                    # A bare-name Assign rebinds; everything else —
+                    # item/attribute writes, augmented assignment —
+                    # mutates the restored object in place.
+                    if isinstance(n, ast.Assign) and isinstance(t, ast.Name):
+                        continue
+                    flag(chain[0], t, "item/attribute write")
+
     # -- R1 / R2 / R4 at call sites ------------------------------------
     def visit_Call(self, node: ast.Call) -> None:
         name = _collective_name(node)
@@ -544,6 +686,7 @@ class _Checker(ast.NodeVisitor):
         if self._fn is not None and self._fn.is_spmd:
             self._check_r4(node)
         self._check_r6(node)
+        self._check_r14_machine(node)
         if (
             self._fn is not None
             and self._fn.is_fault_tolerant

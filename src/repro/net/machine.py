@@ -185,6 +185,7 @@ class PEContext:
         comm0 = m.comm_seconds
         wait0 = m.wait_seconds
         retr0 = m.retransmit_seconds
+        rec0 = m.recovery_seconds
         depth = len(self._phase_stack)
         self._phase_stack.append((name, start))
         try:
@@ -203,6 +204,7 @@ class PEContext:
                     comm_time=m.comm_seconds - comm0,
                     wait_time=m.wait_seconds - wait0,
                     retransmit_time=m.retransmit_seconds - retr0,
+                    recovery_time=m.recovery_seconds - rec0,
                 )
             )
             tracer = getattr(self._machine, "tracer", None)
@@ -262,6 +264,9 @@ class PEContext:
         if not q:
             return None
         msg = q.popleft()
+        note_consumed = getattr(self._machine, "_note_consumed", None)
+        if note_consumed is not None:
+            note_consumed(msg)
         if msg.send_time > self.metrics.clock:
             self.metrics.wait_seconds += msg.send_time - self.metrics.clock
             self.metrics.clock = msg.send_time
@@ -357,6 +362,23 @@ class PEContext:
             return False
         words = store.save(self.rank, name, state)
         self.metrics.clock += self._slowdown * self.spec.message_time(words)
+        if getattr(store, "supports_partner_replication", False):
+            mate = store.partner_of(self.rank)
+            contexts = getattr(self._machine, "_contexts", None)
+            if mate != self.rank and contexts:
+                # Buddy scheme: the snapshot is also shipped to the
+                # partner rank as a real message — both endpoints pay,
+                # so replication cadence shows up in simulated time.
+                ship = self.spec.message_time(words)
+                self.metrics.clock += self._slowdown * ship
+                self.metrics.comm_seconds += self._slowdown * ship
+                buddy = contexts[mate]
+                bdt = buddy._slowdown * ship
+                buddy.metrics.clock += bdt
+                buddy.metrics.comm_seconds += bdt
+        note_ckpt = getattr(self._machine, "_note_checkpoint", None)
+        if note_ckpt is not None:
+            note_ckpt(self.rank)
         self._machine._note_progress()
         return True
 
@@ -409,6 +431,10 @@ class MachineResult:
     #: Link occupancy totals (``None`` under the flat alpha-beta model,
     #: which has no links to contend for).
     network: NetworkStats | None = None
+    #: What localized recovery did during the run — membership events,
+    #: replayed-message and restored-word totals (``None`` under
+    #: ``recovery="global"``).
+    recovery: Any | None = None
 
     @property
     def time(self) -> float:
@@ -465,6 +491,23 @@ class Machine:
         Optional :class:`repro.core.checkpoint.CheckpointStore`
         backing ``ctx.checkpoint`` / ``ctx.restore``; usually supplied
         by :func:`repro.core.checkpoint.run_with_recovery`.
+    recovery:
+        ``"global"`` (default — a fault-plan crash aborts the run with
+        :class:`PECrashError`; pair with
+        :func:`repro.core.checkpoint.run_with_recovery` to restart) or
+        ``"localized"`` — crashes are detected by simulated heartbeats
+        and repaired *inside* the running engine: the crashed rank
+        restores from its partner's checkpoint replica and re-receives
+        logged messages while survivors keep going (see
+        :mod:`repro.faults.recovery` and ``docs/FAULTS.md``).
+        Localized recovery requires the contended network model (the
+        DES discipline), the reliable transport, and a
+        partner-replication-capable checkpoint store (a
+        :class:`repro.core.checkpoint.BuddyCheckpointStore` is
+        attached automatically when none is given).
+    recovery_config:
+        :class:`repro.faults.recovery.RecoveryConfig` detector
+        tunables (heartbeat period/timeout) for localized recovery.
     """
 
     def __init__(
@@ -480,6 +523,8 @@ class Machine:
         transport: str | None = None,
         reliable_config: ReliableConfig | None = None,
         checkpoint_store=None,
+        recovery: str = "global",
+        recovery_config=None,
     ):
         if num_pes < 1:
             raise ValueError("need at least one PE")
@@ -504,8 +549,37 @@ class Machine:
                 "REPRO_PROTOCOL_CHECK", ""
             ).strip().lower() in ("1", "true", "yes", "on")
         self.protocol_check = bool(protocol_check)
+        if recovery not in ("global", "localized"):
+            raise ValueError(
+                f"unknown recovery mode {recovery!r}; expected 'global' or 'localized'"
+            )
+        if recovery == "localized" and self.network.model != "contended":
+            raise ValueError(
+                "localized recovery runs on heartbeat timers and in-engine "
+                "respawn, which need the contended network model "
+                "(Network(model='contended'))"
+            )
+        if (
+            fault_plan is not None
+            and getattr(fault_plan, "crash_at_time", ())
+            and (scheduler != "event" or self.network.model != "contended")
+        ):
+            raise ValueError(
+                "crash_at_time schedules fire as simulated-time engine "
+                "events; they need the event scheduler and the contended "
+                "network model"
+            )
         if transport is None:
-            transport = "reliable" if fault_plan is not None else "direct"
+            transport = (
+                "reliable"
+                if (fault_plan is not None or recovery == "localized")
+                else "direct"
+            )
+        if recovery == "localized" and transport != "reliable":
+            raise ValueError(
+                "localized recovery replays from the reliable transport's "
+                "send logs; transport='reliable' is required"
+            )
         if transport not in ("direct", "reliable", "lossy"):
             raise ValueError(
                 f"unknown transport {transport!r}; "
@@ -521,7 +595,23 @@ class Machine:
         self.fault_plan = fault_plan
         self.transport = transport
         self.reliable_config = reliable_config
+        self.recovery = recovery
+        self.recovery_config = recovery_config
+        if recovery == "localized":
+            from ..core.checkpoint import BuddyCheckpointStore
+
+            if checkpoint_store is None:
+                checkpoint_store = BuddyCheckpointStore(num_pes)
+            elif not getattr(checkpoint_store, "supports_partner_replication", False):
+                raise ValueError(
+                    "localized recovery restores from partner replicas; "
+                    "pass a partner-replication-capable store "
+                    "(BuddyCheckpointStore), not a plain CheckpointStore"
+                )
         self.checkpoint_store = checkpoint_store
+        #: The run's :class:`repro.faults.recovery.RecoveryManager`
+        #: under localized recovery (``None`` otherwise / between runs).
+        self._recovery_manager = None
         #: The wire transport (reliable / lossy) or ``None`` for direct.
         self._wire = None
         #: The event engine of the run in progress (``None`` otherwise).
@@ -598,6 +688,57 @@ class Machine:
 
     def _note_progress(self) -> None:
         self._progress += 1
+
+    def _note_consumed(self, msg: Message) -> None:
+        """A program consumed ``msg`` (localized-recovery log pruning)."""
+        if (
+            self._recovery_manager is not None
+            and self._wire is not None
+            and msg.channel_seq is not None
+        ):
+            self._wire.note_consumed(msg.src, msg.dest, msg.channel_seq)
+
+    def _note_checkpoint(self, rank: int) -> None:
+        """``rank`` checkpointed: snapshot its machine-level watermarks.
+
+        Under localized recovery a respawn rewinds the rank to exactly
+        this point — transport seqs (so its re-sends are suppressed at
+        survivors) and collective counters (so re-entered collectives
+        re-validate against the same positions).
+        """
+        manager = self._recovery_manager
+        if manager is None:
+            return
+        if self._wire is not None:
+            self._wire.note_checkpoint(rank)
+        manager.note_checkpoint(
+            rank,
+            collective_seq=self._contexts[rank]._collective_seq,
+            collective_entries=len(self._collective_log[rank])
+            if self._collective_log
+            else 0,
+        )
+
+    def _reset_pe_for_respawn(
+        self, rank: int, collective_seq: int, collective_entries: int
+    ) -> None:
+        """Rewind ``rank``'s context to its last checkpoint (recovery).
+
+        The inbox is cleared (the transport's send logs re-deliver
+        everything unconsumed), block states reset, and the collective
+        counters rewind so the re-execution's collective entries land
+        at the positions the protocol verifier already validated for
+        the peers.  In-flight counters are left untouched: stale wire
+        copies still settle through the seq-dedup path.
+        """
+        pe = self._contexts[rank]
+        pe._inbox.clear()
+        pe._blocked_tag = None
+        pe._blocked_sends = False
+        pe._phase_stack.clear()
+        pe._collective_seq = collective_seq
+        if self._collective_log:
+            del self._collective_log[rank][collective_entries:]
 
     def _note_collective_entry(self, rank: int, seq: int, label: str) -> None:
         """Record and cross-validate one PE's collective entry.
@@ -726,6 +867,15 @@ class Machine:
             for ctx in self._contexts:
                 ctx._slowdown = plan.slowdown(ctx.rank)  # noqa: R13 -- the machine owns its contexts
         self.network.bind(self.spec, self.num_pes)
+        if self.recovery == "localized":
+            from ..faults.recovery import RecoveryManager
+
+            # Before the transport: the wire enables send logging only
+            # when a recovery manager is present at construction.
+            self._recovery_manager = RecoveryManager(self, self.recovery_config)
+        else:
+            self._recovery_manager = None
+        self._spawn = lambda rank: program(self._contexts[rank], *args, **kwargs)
         if self.transport == "reliable":
             self._wire = ReliableTransport(self, plan, self.reliable_config)
         elif self.transport == "lossy":
@@ -761,6 +911,11 @@ class Machine:
             events=self._progress,
             engine=engine_stats,
             network=self.network.stats() if self.network.model == "contended" else None,
+            recovery=(
+                self._recovery_manager.report
+                if self._recovery_manager is not None
+                else None
+            ),
         )
 
     def _run_round_robin(self, gens, live: set[int], values: list[Any]) -> None:

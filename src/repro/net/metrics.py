@@ -52,6 +52,14 @@ class PEMetrics:
     #: Simulated seconds charged by the reliable transport for
     #: retransmissions and duplicate discards (fault overhead).
     retransmit_seconds: float = 0.0
+    #: Localized-recovery seconds: a crashed PE's whole outage
+    #: (detection wait + partner restore + log replay) plus what
+    #: survivors paid to ship replicas and re-send logged messages.
+    #: Zero on crash-free runs and under global restart.
+    recovery_seconds: float = 0.0
+    #: Heartbeat probes this PE paid for (localized recovery's
+    #: standing failure-detector cost; zero otherwise).
+    heartbeats: int = 0
     #: Closed ``ctx.span`` intervals in completion order (see
     #: :class:`repro.net.trace.SpanRecord`).
     spans: list[SpanRecord] = field(default_factory=list)
@@ -151,6 +159,21 @@ class RunMetrics:
         return sum(m.wait_seconds for m in self.per_pe)
 
     @property
+    def total_recovery_seconds(self) -> float:
+        """Total localized-recovery seconds charged across the machine."""
+        return sum(m.recovery_seconds for m in self.per_pe)
+
+    @property
+    def max_recovery_seconds(self) -> float:
+        """Worst per-PE localized-recovery cost (the crashed rank's outage)."""
+        return max((m.recovery_seconds for m in self.per_pe), default=0.0)
+
+    @property
+    def total_heartbeats(self) -> int:
+        """Total heartbeat probes charged across the machine."""
+        return sum(m.heartbeats for m in self.per_pe)
+
+    @property
     def critical_rank(self) -> int:
         """Rank of the slowest PE (the one defining the makespan)."""
         if not self.per_pe:
@@ -214,6 +237,8 @@ class RunMetrics:
             "duplicates_discarded": self.total_duplicates_discarded,
             "max_retransmits": self.max_retransmits,
             "max_messages_dropped": self.max_messages_dropped,
+            "recovery_seconds": self.total_recovery_seconds,
+            "heartbeats": self.total_heartbeats,
         }
         for name, t in sorted(self.phase_breakdown().items()):
             out[f"phase_{name}"] = t

@@ -123,6 +123,22 @@ class ReliableTransport:
         #: is unaffected because this transport repairs every fault).
         self.wire_dropped = 0
         self.wire_duplicates = 0
+        #: Sender-based message logging (localized recovery only):
+        #: per-channel ``seq -> Message`` of everything sent since the
+        #: *receiver*'s last checkpoint.  ``note_checkpoint`` prunes
+        #: entries the receiver had already consumed (they are part of
+        #: its checkpointed state); ``replay_to`` re-delivers the rest
+        #: after a crash.  Disabled (empty) without a recovery manager.
+        self._log_enabled = getattr(machine, "_recovery_manager", None) is not None
+        self._send_log: dict[tuple[int, int], dict[int, Message]] = {}
+        #: Per-channel seqs the receiver consumed since its last
+        #: checkpoint (pruned from the log at the next checkpoint).
+        self._consumed: dict[tuple[int, int], set[int]] = {}
+        #: Per-rank outgoing-seq watermarks at the rank's last
+        #: checkpoint: ``rank -> {dest: next_seq}``.  Rewinding to the
+        #: watermark makes a respawned rank's re-sends carry the seqs
+        #: survivors already saw, so receive-side dedup suppresses them.
+        self._send_marks: dict[int, dict[int, int]] = {}
 
     @property
     def app_delivery_delta(self) -> int:
@@ -153,6 +169,10 @@ class ReliableTransport:
         chan = (msg.src, msg.dest)
         seq = self._next_seq.get(chan, 0)
         self._next_seq[chan] = seq + 1
+        if self._log_enabled:
+            # Keyed by seq so a respawned rank's re-send of the same
+            # message overwrites its log entry instead of duplicating it.
+            self._send_log.setdefault(chan, {})[seq] = replace(msg, channel_seq=seq)
 
         if machine._engine is not None and machine.network.model == "contended":
             wire_time = spec.message_time(msg.words)
@@ -345,6 +365,114 @@ class ReliableTransport:
             sender = machine._contexts[msg.src]
             sender.metrics.clock += sender._slowdown * ack_time
             sender.metrics.comm_seconds += sender._slowdown * ack_time
+
+
+    # ------------------------------------------------------------------
+    # Localized recovery (sender-based logging + replay)
+    # ------------------------------------------------------------------
+    def note_consumed(self, src: int, dest: int, seq: int) -> None:
+        """The program on ``dest`` consumed seq ``seq`` of ``(src, dest)``.
+
+        Consumption — not delivery — is what makes a logged message
+        safe to drop at the receiver's next checkpoint: a message
+        sitting unconsumed in the inbox is *not* part of any
+        checkpointed state and must be replayed after a crash.
+        """
+        if self._log_enabled:
+            self._consumed.setdefault((src, dest), set()).add(seq)
+
+    def note_checkpoint(self, rank: int) -> None:
+        """``rank`` took a (partner-replicated) checkpoint just now.
+
+        Messages ``rank`` consumed before this point are folded into
+        its checkpointed state, so their log entries are pruned;
+        everything else (unconsumed, in flight, or future) stays
+        replayable.  The rank's outgoing-seq watermarks are recorded so
+        a later respawn can rewind them.
+        """
+        if not self._log_enabled:
+            return
+        for chan, consumed in self._consumed.items():
+            if chan[1] != rank:
+                continue
+            log = self._send_log.get(chan)
+            if log:
+                for seq in consumed:
+                    log.pop(seq, None)
+            consumed.clear()
+        self._send_marks[rank] = {
+            chan[1]: nxt for chan, nxt in self._next_seq.items() if chan[0] == rank
+        }
+
+    def replay_to(self, rank: int, at_time: float) -> int:
+        """Re-deliver every logged message addressed to ``rank``.
+
+        Called by the recovery manager after the partner restore.  For
+        each logged message the *sender* pays a full re-send
+        (``alpha + beta * words``, charged to its ``recovery_seconds``
+        bucket); delivery events land at ``at_time``, before the
+        respawned rank's first resume.  Replays bypass the in-order
+        receive protocol (the log is already FIFO per channel) and
+        never settle in-flight counters — the original wire copies,
+        still in the event queue, settle themselves and are
+        dedup-discarded because the channel's expected seq is advanced
+        past everything replayed.  The rank's own outgoing channels are
+        rewound to their checkpoint watermarks so its deterministic
+        re-sends are suppressed at the receivers.
+
+        Returns the number of re-delivered messages.
+        """
+        machine = self.machine
+        spec = machine.spec
+        replayed = 0
+        for chan in sorted(self._send_log):
+            if chan[1] != rank or chan[0] == rank:
+                continue
+            log = self._send_log[chan]
+            if not log:
+                continue
+            sender = machine._contexts[chan[0]]
+            for seq in sorted(log):
+                out = replace(log[seq], send_time=at_time)
+                resend_dt = sender._slowdown * spec.message_time(out.words)
+                sender.metrics.clock += resend_dt
+                sender.metrics.recovery_seconds += resend_dt
+                machine._engine.post_delivery(
+                    at_time,
+                    lambda m=out: machine._finish_delivery(m, settle=False),
+                )
+                replayed += 1
+            self._expected[chan] = max(
+                self._expected.get(chan, 0), max(log) + 1
+            )
+            held = self._held.pop(chan, None)
+            if held:
+                # Parked out-of-order copies are superseded by the
+                # replay; settle the primaries so their senders'
+                # in-flight counts still reach zero.
+                for parked, parked_dup in held.values():
+                    if not parked_dup:
+                        machine._settle_send(parked.src)
+            self._consumed.get(chan, set()).clear()
+        marks = self._send_marks.get(rank)
+        if marks is None:
+            # No checkpoint yet: the respawn re-executes from program
+            # start and re-sends everything from seq 0.
+            marks = {
+                chan[1]: 0 for chan in self._next_seq if chan[0] == rank
+            }
+        for dest, mark in marks.items():
+            self._next_seq[(rank, dest)] = mark
+            if dest == rank:
+                # Self-channel: the re-execution re-sends *and*
+                # re-receives these messages, so the receive side
+                # rewinds in lockstep (stale copies still in flight
+                # reconcile through the ordinary seq dedup).
+                self._expected[(rank, rank)] = min(
+                    self._expected.get((rank, rank), 0), mark
+                )
+                self._consumed.get((rank, rank), set()).clear()
+        return replayed
 
 
 class LossyTransport:

@@ -34,10 +34,14 @@ class SpanRecord:
         message's causal timestamp (idle time on the critical path);
     ``retransmit_time``
         seconds charged by the reliable transport for retransmissions
-        and duplicate discards (zero on fault-free runs).
+        and duplicate discards (zero on fault-free runs);
+    ``recovery_time``
+        seconds charged by localized recovery while the span was open
+        (a survivor shipping its checkpoint replica or re-sending
+        logged messages for a crashed peer; zero on crash-free runs).
 
-    The residue ``elapsed - comm_time - wait_time - retransmit_time``
-    is local compute.  Spans are recorded per PE in
+    The residue ``elapsed - comm_time - wait_time - retransmit_time -
+    recovery_time`` is local compute.  Spans are recorded per PE in
     :attr:`repro.net.metrics.PEMetrics.spans` and merged across PEs by
     :meth:`repro.net.metrics.RunMetrics.merged_spans`; the exporters in
     :mod:`repro.obs` turn them into Chrome traces, CSV tables, and
@@ -54,6 +58,7 @@ class SpanRecord:
     comm_time: float = 0.0
     wait_time: float = 0.0
     retransmit_time: float = 0.0
+    recovery_time: float = 0.0
 
     @property
     def elapsed(self) -> float:
@@ -62,9 +67,14 @@ class SpanRecord:
 
     @property
     def compute_time(self) -> float:
-        """Elapsed time minus communication, waiting, and retransmits."""
+        """Elapsed time minus communication, waiting, and repair time."""
         return max(
-            0.0, self.elapsed - self.comm_time - self.wait_time - self.retransmit_time
+            0.0,
+            self.elapsed
+            - self.comm_time
+            - self.wait_time
+            - self.retransmit_time
+            - self.recovery_time,
         )
 
 

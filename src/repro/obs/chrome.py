@@ -97,6 +97,7 @@ def chrome_trace(
                     "comm_us": _us(span.comm_time),
                     "wait_us": _us(span.wait_time),
                     "retransmit_us": _us(span.retransmit_time),
+                    "recovery_us": _us(span.recovery_time),
                 },
             }
         )

@@ -33,6 +33,7 @@ SPAN_COLUMNS = (
     "comm_s",
     "wait_s",
     "retransmit_s",
+    "recovery_s",
 )
 
 
@@ -54,6 +55,7 @@ def spans_csv(metrics: RunMetrics) -> str:
                 f"{s.comm_time:.9f}",
                 f"{s.wait_time:.9f}",
                 f"{s.retransmit_time:.9f}",
+                f"{s.recovery_time:.9f}",
             ]
         )
     return buf.getvalue()

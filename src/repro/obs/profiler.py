@@ -13,6 +13,9 @@ records and the communication counters:
   time behind stragglers or late senders);
 * ``retransmit`` — reliable-transport fault-repair time (zero on
   fault-free runs);
+* ``recovery`` — localized-recovery time (detection wait, partner
+  restore, log replay; zero on crash-free runs and under global
+  restart);
 * ``other`` — time outside every span (e.g. the final allreduce's
   local bookkeeping).
 
@@ -78,13 +81,17 @@ def profile_metrics(metrics: RunMetrics) -> PhaseProfile:
     for span in pe.spans:
         if span.depth != 0:
             continue  # children are covered by their top-level ancestor
+        if span.name.startswith("recover:"):
+            continue  # the whole outage is in the ``recovery`` bucket
         categories[span.name] = categories.get(span.name, 0.0) + span.compute_time
         compute_in_spans += span.compute_time
     categories["communication"] = pe.comm_seconds
     categories["wait"] = pe.wait_seconds
     categories["retransmit"] = pe.retransmit_seconds
+    categories["recovery"] = pe.recovery_seconds
     other = pe.clock - compute_in_spans - pe.comm_seconds - pe.wait_seconds
     other -= pe.retransmit_seconds
+    other -= pe.recovery_seconds
     categories["other"] = max(0.0, other)
     return PhaseProfile(
         num_pes=metrics.num_pes,

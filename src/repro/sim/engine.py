@@ -100,6 +100,9 @@ class EngineStats:
     events: int = 0
     #: Parked PEs woken by a matching delivery or send completion.
     wakeups: int = 0
+    #: Crashed PEs respawned inside the running engine (localized
+    #: recovery; always zero under global restart).
+    respawns: int = 0
 
     @property
     def steps_per_pe(self) -> float:
@@ -175,6 +178,37 @@ class SimEngine:
     def call_at(self, time: float, fn: Callable[[], None]) -> None:
         """Schedule a transport timer / injection callback (``des``)."""
         self.queue.push(time, PRIORITY_TIMER, fn)
+
+    def kill_pe(self, rank: int) -> None:
+        """Crash-stop ``rank`` in place (localized recovery, ``des``).
+
+        The generator is closed — ``GeneratorExit`` unwinds its open
+        ``ctx.phase`` blocks, recording truncated spans at the
+        crash-time clock — and the rank leaves the live set.  Deliveries
+        addressed to it still land in its inbox (cleared at respawn;
+        the transport's send logs cover re-delivery), but it is never
+        resumed: pending resume events find it outside ``_live``.
+        """
+        self._live.discard(rank)
+        self._parked_des[rank] = None
+        gen = self._gens[rank]
+        if gen is not None:
+            gen.close()
+
+    def respawn_pe(self, rank: int, gen, time: float) -> None:
+        """Rejoin ``rank`` with a fresh generator at simulated ``time``.
+
+        The recovery manager calls this after restoring the rank's
+        checkpoint replica and scheduling the logged re-deliveries; the
+        first resume is a normal PE step at the post-recovery clock
+        (deliveries scheduled at the same time fire first —
+        ``PRIORITY_DELIVERY`` precedes ``PRIORITY_RESUME``).
+        """
+        self._gens[rank] = gen
+        self._parked_des[rank] = None
+        self._live.add(rank)
+        self.stats.respawns += 1
+        self._schedule_resume(rank, max(time, self.queue.now))
 
     # ------------------------------------------------------------------
     # compat-heap: round-robin emulation without the no-op polls
@@ -325,6 +359,16 @@ class SimEngine:
         live = self._live
         for rank in range(machine.num_pes):
             self._schedule_resume(rank, 0.0)
+        manager = getattr(machine, "_recovery_manager", None)
+        if manager is not None:
+            manager.start(self)
+        plan = machine.fault_plan
+        if plan is not None:
+            for index, crash in enumerate(plan.crash_at_time):
+                self.call_at(
+                    crash.at_time,
+                    lambda i=index, c=crash: self._fire_timed_crash(i, c),
+                )
         noop_events = 0
         noop_bound = max(256, 16 * machine.num_pes)
         while True:
@@ -351,6 +395,23 @@ class SimEngine:
                 machine._deadlock_diagnostic(live, self._deadlock_reason(live))
             )
 
+    def _fire_timed_crash(self, index: int, crash) -> None:
+        """A :class:`~repro.faults.plan.TimedCrash` timer fired."""
+        from ..net.machine import PECrashError
+
+        machine = self.machine
+        if not machine.fault_plan.claim_timed(index):
+            return
+        if crash.rank not in self._live:
+            # The rank finished (or already crashed) before the
+            # scheduled time; a dead PE cannot crash again.
+            return
+        manager = getattr(machine, "_recovery_manager", None)
+        if manager is not None:
+            manager.on_crash(crash.rank)
+            return
+        raise PECrashError(crash.rank, machine._progress)
+
     def _schedule_resume(self, rank: int, time: float) -> None:
         self.queue.push(time, PRIORITY_RESUME, lambda: self._step_des(rank))
 
@@ -368,6 +429,10 @@ class SimEngine:
             return
         plan = machine.fault_plan
         if plan is not None and plan.crash_due(rank, machine._progress):
+            manager = getattr(machine, "_recovery_manager", None)
+            if manager is not None:
+                manager.on_crash(rank)
+                return
             raise PECrashError(rank, machine._progress)
         self.stats.steps += 1
         try:

@@ -269,6 +269,78 @@ def test_prune_to_stable_keeps_common_prefix_only():
     assert all(store.names(r) == ["local"] for r in range(3))
 
 
+def test_load_name_mismatch_leaves_cursor_for_the_right_name():
+    """A mismatch must not consume the snapshot it rejected."""
+    store = CheckpointStore(1)
+    store.save(0, "local", {"x": 1})
+    store.begin_run()
+    assert store.load(0, "contraction") is None
+    state, _ = store.load(0, "local")
+    assert state == {"x": 1}, "the rejected snapshot is still replayable"
+
+
+def test_prune_to_stable_cuts_at_mid_prefix_name_divergence():
+    """Equal-length histories still prune where the *names* diverge."""
+    store = CheckpointStore(2)
+    for rank in range(2):
+        store.save(rank, "local", {"r": rank})
+    # Same depth, different second phase: an inconsistent cut.
+    store.save(0, "contraction", {"r": 0})
+    store.save(1, "global", {"r": 1})
+    assert store.prune_to_stable() == 1
+    assert store.names(0) == ["local"] and store.names(1) == ["local"]
+
+
+def test_repeated_crashes_of_the_same_rank_recover():
+    """The same PE failing in two attempts needs two restarts."""
+    graph = default_chaos_graph()
+    dist = distribute(graph, num_pes=4)
+    expected = edge_iterator(graph).triangles
+    dry = Machine(4).run(counting_program, dist, DITRIC_CONFIG)
+    plan = FaultPlan(
+        crashes=(
+            CrashEvent(rank=2, at_event=int(dry.events * 0.5)),
+            CrashEvent(rank=2, at_event=int(dry.events * 0.9)),
+        )
+    )
+    machine = Machine(
+        4, fault_plan=plan, transport="reliable", checkpoint_store=CheckpointStore(4)
+    )
+    recovery = run_with_recovery(machine, counting_program, dist, DITRIC_CONFIG)
+    assert recovery.restarts == 2
+    assert [r for r, _ in recovery.crashes] == [2, 2]
+    assert recovery.values[0].triangles_total == expected
+
+
+def test_recovery_result_prices_lost_attempts():
+    """``total_time`` bills every aborted attempt, not just the survivor."""
+    graph = default_chaos_graph()
+    dist = distribute(graph, num_pes=4)
+    dry = Machine(4).run(counting_program, dist, DITRIC_CONFIG)
+    plan = FaultPlan(crashes=(CrashEvent(rank=1, at_event=int(dry.events * 0.6)),))
+    machine = Machine(
+        4, fault_plan=plan, transport="reliable", checkpoint_store=CheckpointStore(4)
+    )
+    recovery = run_with_recovery(machine, counting_program, dist, DITRIC_CONFIG)
+    assert recovery.restarts == 1
+    assert len(recovery.attempt_times) == 1
+    assert recovery.attempt_times[0] > 0.0
+    assert recovery.lost_time == pytest.approx(sum(recovery.attempt_times))
+    assert recovery.total_time == pytest.approx(
+        recovery.lost_time + recovery.time
+    )
+    assert recovery.total_time > recovery.time
+
+    clean = run_with_recovery(
+        Machine(4, transport="reliable", checkpoint_store=CheckpointStore(4)),
+        counting_program,
+        dist,
+        DITRIC_CONFIG,
+    )
+    assert clean.restarts == 0 and clean.lost_time == 0.0
+    assert clean.total_time == clean.time
+
+
 def test_recovery_reruns_only_the_lost_phase():
     graph = default_chaos_graph()
     dist = distribute(graph, num_pes=4)

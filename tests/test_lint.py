@@ -61,6 +61,10 @@ def prog(ctx):
     ctx.metrics.clock += 5.0
     yield
 """,
+    "R14": """
+def launch(machine_args):
+    return Machine(4, recovery="localized", checkpoint_store=CheckpointStore(4))
+""",
 }
 
 GOOD = {
@@ -108,6 +112,10 @@ def prog(ctx):
     ctx.charge_time(5.0)
     clock = 5.0
     yield
+""",
+    "R14": """
+def launch(machine_args):
+    return Machine(4, recovery="localized", checkpoint_store=BuddyCheckpointStore(4))
 """,
 }
 
@@ -215,7 +223,7 @@ def test_finding_format_is_compiler_style():
 
 
 def test_rule_catalogue_is_complete():
-    assert set(RULES) == {f"R{i}" for i in range(14)}
+    assert set(RULES) == {f"R{i}" for i in range(15)}
 
 
 def test_r5_only_applies_to_marked_programs():
@@ -426,6 +434,88 @@ def test_r13_noqa_escape():
 def prog(ctx):
     ctx.metrics.clock += 5.0  # noqa: R13 -- test fixture resets the clock
     yield
+"""
+    assert lint_source(src) == []
+
+
+def test_r14_flags_restored_state_mutated_without_recheckpoint():
+    append = """
+@fault_tolerant
+def prog(ctx):
+    state = ctx.restore("local")
+    state.append(1)
+    yield
+"""
+    assert [f.code for f in lint_source(append)] == ["R14"]
+    item_write = """
+@fault_tolerant
+def prog(ctx):
+    state = ctx.restore("local")
+    state["count"] = 7
+    yield
+"""
+    assert [f.code for f in lint_source(item_write)] == ["R14"]
+
+
+def test_r14_accepts_recheckpoint_and_canonical_restore():
+    recheckpointed = """
+@fault_tolerant
+def prog(ctx):
+    state = ctx.restore("global")
+    if state is None:
+        state = fresh_state()
+    state.append(1)
+    ctx.checkpoint("global", state)
+    yield
+"""
+    assert lint_source(recheckpointed) == []
+    canonical = """
+@fault_tolerant
+def prog(ctx):
+    state = ctx.restore("local")
+    if state is None:
+        state = fresh_state()
+        ctx.checkpoint("local", state)
+    yield
+"""
+    assert lint_source(canonical) == []
+
+
+def test_r14_only_polices_fault_tolerant_programs():
+    unmarked = """
+def prog(ctx):
+    state = ctx.restore("local")
+    state.append(1)
+    yield
+"""
+    assert lint_source(unmarked) == []
+
+
+def test_r14_machine_shape_needs_all_three_ingredients():
+    # localized + auto-attached buddy store: fine.
+    implicit = """
+def launch():
+    return Machine(4, recovery="localized")
+"""
+    assert lint_source(implicit) == []
+    # plain store under global restart: fine.
+    global_store = """
+def launch():
+    return Machine(4, checkpoint_store=CheckpointStore(4))
+"""
+    assert lint_source(global_store) == []
+    # a store the rule cannot classify (a variable): not flagged.
+    opaque = """
+def launch(store):
+    return Machine(4, recovery="localized", checkpoint_store=store)
+"""
+    assert lint_source(opaque) == []
+
+
+def test_r14_noqa_escape():
+    src = """
+def launch():
+    return Machine(4, recovery="localized", checkpoint_store=CheckpointStore(4))  # noqa: R14 -- exercising the runtime rejection
 """
     assert lint_source(src) == []
 
