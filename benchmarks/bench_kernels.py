@@ -7,10 +7,15 @@ counter.  They exist to catch performance regressions in the
 vectorized hot paths the HPC-Python guides call out.
 """
 
+import time
+
 import harness
 import numpy as np
 import pytest
+from conftest import save_artifact
 
+from repro.analysis.tables import format_table
+from repro.core import backends
 from repro.core.edge_iterator import edge_iterator, matrix_count
 from repro.core.intersect import batch_intersect_count, gather_blocks
 from repro.core.orientation import orient_by_degree
@@ -61,6 +66,63 @@ def test_bench_batched_side_swap(benchmark):
     harness.emit_wall(
         "kernel:batch_intersect_asymmetric", benchmark, pairs=n, ratio=big // small
     )
+
+
+def test_bench_kernel_backends(intersection_batch, results_dir):
+    """Pluggable kernel backends on the same batch: identical outputs.
+
+    Times ``batch_intersect_count`` under every *loadable* backend
+    (``numpy`` always; ``numba`` when the wheel is installed) and pins
+    the bit-identity contract: same counts, same charged ops —
+    accounting happens in the dispatcher, before any backend runs.
+    When numba is available it must beat numpy (compiled merge loops
+    vs. keyed searchsorted); when it is not, the committed artifact
+    records the skip instead of silently shrinking the table.
+    """
+    a_cat, a_x, b_cat, b_x, n = intersection_batch
+    rows = []
+    results = {}
+    skipped = []
+    status = backends.backend_status()
+    for name in backends.available_backends():
+        if status.get(name) != "ok":
+            skipped.append(f"{name}: {status.get(name, 'unknown')}")
+            continue
+        with backends.use_backend(name):
+            batch_intersect_count(a_cat, a_x, b_cat, b_x, n)  # warm-up / JIT
+            best = float("inf")
+            for _ in range(3):
+                t0 = time.perf_counter()
+                res = batch_intersect_count(a_cat, a_x, b_cat, b_x, n)
+                best = min(best, time.perf_counter() - t0)
+        results[name] = res
+        rows.append({"backend": name, "wall time [s]": best, "ops": res.ops})
+        harness.emit("kernel_backends", wall_seconds=best, backend=name)
+    reference = results["numpy"]
+    for name, res in results.items():
+        assert np.array_equal(res.counts, reference.counts), name
+        assert res.ops == reference.ops, name
+    baseline = next(r["wall time [s]"] for r in rows if r["backend"] == "numpy")
+    for r in rows:
+        r["speedup vs numpy"] = baseline / r["wall time [s]"]
+    text = format_table(
+        rows,
+        ["backend", "wall time [s]", "ops", "speedup vs numpy"],
+        title=(
+            f"Kernel backends: batch_intersect_count on RMAT scale 13 "
+            f"({a_x.size - 1} pairs) - outputs and charged ops bit-identical"
+        ),
+    )
+    for note in skipped:
+        text += f"\n\nbackend {note} - not loadable in this environment (skipped)"
+    save_artifact(results_dir, "kernel_backends.txt", text)
+    if "numba" in results:
+        numba_wall = next(
+            r["wall time [s]"] for r in rows if r["backend"] == "numba"
+        )
+        assert numba_wall < baseline, "compiled merge loops should beat searchsorted"
+    else:
+        pytest.skip("numba wheel not installed; numpy-only table committed")
 
 
 def test_bench_orientation(benchmark, medium_graph):

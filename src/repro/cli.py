@@ -41,6 +41,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import os
 import re
 import sys
 
@@ -362,6 +363,15 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-tc",
         description="Distributed-memory triangle counting (Sanders & Uhl reproduction)",
     )
+    parser.add_argument(
+        "--kernel-backend",
+        default="",
+        metavar="NAME",
+        help="intersection kernel backend for this run (numpy, numba, or a "
+        "registered third backend; see docs/KERNELS.md).  Equivalent to "
+        "setting REPRO_KERNEL_BACKEND; unavailable backends log a warning "
+        "and fall back to numpy.  Simulated costs are identical either way.",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     c = sub.add_parser("count", help="count triangles")
@@ -491,6 +501,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    if args.kernel_backend:
+        from .core.backends import set_backend
+
+        # Select in-process and export so ProcessMachine workers (and
+        # anything the command spawns) inherit the same choice.
+        os.environ["REPRO_KERNEL_BACKEND"] = args.kernel_backend
+        set_backend(args.kernel_backend)
     return args.func(args)
 
 

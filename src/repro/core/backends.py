@@ -1,0 +1,272 @@
+"""Runtime-selected kernel backends for the batch intersection hot path.
+
+``batch_intersect_count`` / ``batch_intersect_elements`` in
+:mod:`repro.core.intersect` are the compute hot path of every algorithm
+variant.  This module makes their *execution strategy* pluggable while
+keeping their *accounting* fixed:
+
+* The dispatcher in ``intersect.py`` owns everything observable by the
+  simulation — input validation, dtype coercion, the empty fast path,
+  the small-into-large side swap, and the charged merge-model ops
+  (``|A| + |B|`` per pair).  A backend only supplies the raw kernels
+  that produce counts/elements, so simulated accounting is
+  *structurally* bit-identical across backends (pinned by
+  ``tests/test_equivalence.py``).
+* A backend receives pre-conditioned inputs: contiguous ``int64``
+  arrays, ``k >= 1`` pairs, both concatenations nonempty, and the A
+  side no larger than the B side.  ``count`` returns an ``int64``
+  array of ``k`` per-pair counts; ``elements`` returns
+  ``(pair_idx, elements)`` hit streams in (pair, ascending element)
+  order — the canonical order both shipped backends emit naturally.
+
+Two backends ship:
+
+``numpy`` (default, always available)
+    The offset-keyed global ``searchsorted`` formulation that has been
+    the hot path since the frame PR.
+``numba``
+    Per-pair compiled merge loops (``@njit(cache=True)``), matching the
+    paper's cache-friendly merge kernels.  Optional: when the ``numba``
+    wheel is not importable the registry logs one warning and falls
+    back to ``numpy`` — selection never raises for a *known* backend.
+
+Selection (first match wins):
+
+1. :func:`set_backend` / :func:`use_backend` in code,
+2. the ``REPRO_KERNEL_BACKEND`` environment variable (which is how the
+   ``repro-tc --kernel-backend`` CLI flag and ``ProcessMachine``
+   workers propagate the choice),
+3. the ``numpy`` default.
+
+Registering a third backend is two calls — see ``docs/KERNELS.md`` for
+a worked example and the exact kernel contract.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .intersect import _numpy_batch_count, _numpy_batch_elements
+
+__all__ = [
+    "KernelBackend",
+    "register_backend",
+    "available_backends",
+    "backend_status",
+    "get_backend",
+    "resolve_backend",
+    "set_backend",
+    "use_backend",
+    "ENV_BACKEND",
+]
+
+log = logging.getLogger("repro.kernels")
+
+#: Environment variable naming the preferred backend.
+ENV_BACKEND = "REPRO_KERNEL_BACKEND"
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """A raw kernel pair behind the ``batch_intersect_*`` dispatcher.
+
+    ``count(a_concat, a_xadj, b_concat, b_xadj, vertex_bound)`` returns
+    per-pair intersection counts; ``elements(...)`` returns the
+    ``(pair_idx, elements)`` hit streams.  See the module docstring for
+    the preconditions the dispatcher guarantees.
+    """
+
+    name: str
+    count: Callable[..., np.ndarray]
+    elements: Callable[..., tuple[np.ndarray, np.ndarray]]
+
+
+#: name -> loader returning a KernelBackend (may raise ImportError).
+_LOADERS: dict[str, Callable[[], KernelBackend]] = {}
+#: Successfully built backends, by name.
+_BACKENDS: dict[str, KernelBackend] = {}
+#: Explicit in-process selection (overrides the environment).
+_ACTIVE: str | None = None
+#: Backends whose load already failed (warn once each).
+_FAILED: dict[str, str] = {}
+
+
+def register_backend(name: str, loader: Callable[[], KernelBackend]) -> None:
+    """Register a backend under ``name``.
+
+    ``loader`` is called lazily on first selection and may raise
+    ``ImportError`` — the registry then logs a warning and the
+    dispatcher falls back to ``numpy``.
+    """
+    _LOADERS[name] = loader
+
+
+def available_backends() -> list[str]:
+    """All registered backend names (loadable or not)."""
+    return sorted(_LOADERS)
+
+
+def backend_status() -> dict[str, str]:
+    """Map of backend name -> ``"ok"`` or the load-failure reason."""
+    status = {}
+    for name in available_backends():
+        try:
+            _load(name)
+            status[name] = "ok"
+        except ImportError as exc:
+            status[name] = f"unavailable ({exc})"
+    return status
+
+
+def _load(name: str) -> KernelBackend:
+    if name in _BACKENDS:
+        return _BACKENDS[name]
+    if name not in _LOADERS:
+        raise KeyError(
+            f"unknown kernel backend {name!r}; registered: {available_backends()}"
+        )
+    backend = _LOADERS[name]()
+    _BACKENDS[name] = backend
+    return backend
+
+
+def resolve_backend(name: str | None = None) -> KernelBackend:
+    """Resolve ``name`` (or the current selection) to a loaded backend.
+
+    Unknown names raise ``KeyError``.  Known-but-unloadable backends
+    (e.g. ``numba`` without the wheel) log one warning and degrade to
+    ``numpy`` — runs never fail because an accelerator is missing.
+    """
+    if name is None:
+        name = _ACTIVE or os.environ.get(ENV_BACKEND, "").strip() or "numpy"
+    try:
+        return _load(name)
+    except KeyError:
+        raise
+    except ImportError as exc:
+        if name not in _FAILED:
+            _FAILED[name] = str(exc)
+            log.warning(
+                "kernel backend %r unavailable (%s); falling back to numpy",
+                name,
+                exc,
+            )
+        return _load("numpy")
+
+
+def get_backend() -> KernelBackend:
+    """The backend the dispatcher will use for the next batch call."""
+    return resolve_backend(None)
+
+
+def set_backend(name: str | None) -> None:
+    """Select a backend process-wide (``None`` reverts to env/default).
+
+    Validates eagerly: unknown names raise immediately rather than at
+    the first intersection.
+    """
+    global _ACTIVE
+    if name is not None:
+        resolve_backend(name)
+    _ACTIVE = name
+
+
+@contextmanager
+def use_backend(name: str | None):
+    """Temporarily select a backend (tests, benchmarks)."""
+    global _ACTIVE
+    prev = _ACTIVE
+    set_backend(name)
+    try:
+        yield
+    finally:
+        _ACTIVE = prev
+
+
+# ---------------------------------------------------------------------------
+# numpy backend (always available)
+# ---------------------------------------------------------------------------
+
+
+def _load_numpy() -> KernelBackend:
+    return KernelBackend("numpy", _numpy_batch_count, _numpy_batch_elements)
+
+
+register_backend("numpy", _load_numpy)
+
+
+# ---------------------------------------------------------------------------
+# numba backend (optional)
+# ---------------------------------------------------------------------------
+
+
+def _load_numba() -> KernelBackend:
+    import numba  # noqa: F401  (ImportError -> logged numpy fallback)
+    from numba import njit
+
+    @njit(cache=True)
+    def _count(a_concat, a_xadj, b_concat, b_xadj, counts):  # pragma: no cover
+        for i in range(counts.size):
+            ai, ae = a_xadj[i], a_xadj[i + 1]
+            bi, be = b_xadj[i], b_xadj[i + 1]
+            c = 0
+            while ai < ae and bi < be:
+                av = a_concat[ai]
+                bv = b_concat[bi]
+                if av == bv:
+                    c += 1
+                    ai += 1
+                    bi += 1
+                elif av < bv:
+                    ai += 1
+                else:
+                    bi += 1
+            counts[i] = c
+
+    @njit(cache=True)
+    def _elements(  # pragma: no cover
+        a_concat, a_xadj, b_concat, b_xadj, pair_out, elem_out
+    ):
+        out = 0
+        for i in range(a_xadj.size - 1):
+            ai, ae = a_xadj[i], a_xadj[i + 1]
+            bi, be = b_xadj[i], b_xadj[i + 1]
+            while ai < ae and bi < be:
+                av = a_concat[ai]
+                bv = b_concat[bi]
+                if av == bv:
+                    pair_out[out] = i
+                    elem_out[out] = av
+                    out += 1
+                    ai += 1
+                    bi += 1
+                elif av < bv:
+                    ai += 1
+                else:
+                    bi += 1
+        return out
+
+    def count(a_concat, a_xadj, b_concat, b_xadj, vertex_bound):
+        counts = np.empty(a_xadj.size - 1, dtype=np.int64)
+        _count(a_concat, a_xadj, b_concat, b_xadj, counts)
+        return counts
+
+    def elements(a_concat, a_xadj, b_concat, b_xadj, vertex_bound):
+        # Hits per pair are bounded by the smaller block, and the
+        # dispatcher guarantees A is the smaller side overall, so
+        # |a_concat| bounds the total output.
+        pair_out = np.empty(a_concat.size, dtype=np.int64)
+        elem_out = np.empty(a_concat.size, dtype=np.int64)
+        n = _elements(a_concat, a_xadj, b_concat, b_xadj, pair_out, elem_out)
+        return pair_out[:n], elem_out[:n]
+
+    return KernelBackend("numba", count, elements)
+
+
+register_backend("numba", _load_numba)

@@ -11,9 +11,19 @@ The batch kernels here vectorize *across pairs*: all needle arrays are
 concatenated, offset-keyed so each pair's haystack occupies a disjoint
 key range, and one global :func:`numpy.searchsorted` resolves every
 membership test at once.  Work is *accounted* in the merge model
-(``|a| + |b|`` per pair), independent of how NumPy executes it, so the
-simulated cost model matches the paper's analysis rather than Python's
-constant factors.
+(``|a| + |b|`` per pair), independent of how the kernel executes it, so
+the simulated cost model matches the paper's analysis rather than
+Python's constant factors.
+
+``batch_intersect_count`` / ``batch_intersect_elements`` are
+*dispatchers*: they own validation, the ops accounting, the empty fast
+path and the small-into-large side swap, then hand the pre-conditioned
+arrays to the kernel backend selected via :mod:`repro.core.backends`
+(``numpy`` by default; ``REPRO_KERNEL_BACKEND=numba`` /
+``repro-tc --kernel-backend numba`` selects the compiled merge-loop
+backend when available).  Because everything the cost model sees is
+computed *before* the backend runs, simulated accounting is identical
+for every backend by construction — see ``docs/KERNELS.md``.
 """
 
 from __future__ import annotations
@@ -127,6 +137,53 @@ def _keyed(concat: np.ndarray, xadj: np.ndarray, bound: int) -> tuple[np.ndarray
     return concat + pair_of * np.int64(bound), pair_of
 
 
+def _numpy_batch_count(
+    a_concat: np.ndarray,
+    a_xadj: np.ndarray,
+    b_concat: np.ndarray,
+    b_xadj: np.ndarray,
+    vertex_bound: int,
+) -> np.ndarray:
+    """Raw numpy count kernel (dispatcher preconditions apply).
+
+    The keyed concatenation of the B side is globally sorted because
+    every block is sorted and blocks occupy increasing key ranges, so a
+    single ``searchsorted`` answers all membership queries.
+    """
+    k = a_xadj.size - 1
+    keyed_a, pair_a = _keyed(a_concat, a_xadj, vertex_bound)
+    keyed_b, _ = _keyed(b_concat, b_xadj, vertex_bound)
+    idx = np.searchsorted(keyed_b, keyed_a)
+    idx_clipped = np.minimum(idx, keyed_b.size - 1)
+    hit = (idx < keyed_b.size) & (keyed_b[idx_clipped] == keyed_a)
+    return np.bincount(pair_a[hit], minlength=k).astype(np.int64)
+
+
+def _numpy_batch_elements(
+    a_concat: np.ndarray,
+    a_xadj: np.ndarray,
+    b_concat: np.ndarray,
+    b_xadj: np.ndarray,
+    vertex_bound: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Raw numpy elements kernel (dispatcher preconditions apply)."""
+    keyed_a, pair_a = _keyed(a_concat, a_xadj, vertex_bound)
+    keyed_b, _ = _keyed(b_concat, b_xadj, vertex_bound)
+    idx = np.searchsorted(keyed_b, keyed_a)
+    idx_clipped = np.minimum(idx, keyed_b.size - 1)
+    hit = (idx < keyed_b.size) & (keyed_b[idx_clipped] == keyed_a)
+    return pair_a[hit], a_concat[hit]
+
+
+def _active_backend():
+    # Imported lazily: backends.py pulls the raw numpy kernels from
+    # this module at import time, so the dependency must point one way
+    # at module load.
+    from .backends import get_backend
+
+    return get_backend()
+
+
 def batch_intersect_count(
     a_concat: np.ndarray,
     a_xadj: np.ndarray,
@@ -150,14 +207,14 @@ def batch_intersect_count(
 
     Notes
     -----
-    The keyed concatenation of the B side is globally sorted because
-    every block is sorted and blocks occupy increasing key ranges, so a
-    single ``searchsorted`` answers all membership queries.
+    Validation, the ops accounting, the empty fast path and the side
+    swap happen here; only the final counts come from the selected
+    kernel backend, so the simulated cost is backend-independent.
     """
-    a_concat = np.asarray(a_concat, dtype=np.int64)
-    b_concat = np.asarray(b_concat, dtype=np.int64)
-    a_xadj = np.asarray(a_xadj, dtype=np.int64)
-    b_xadj = np.asarray(b_xadj, dtype=np.int64)
+    a_concat = np.ascontiguousarray(a_concat, dtype=np.int64)
+    b_concat = np.ascontiguousarray(b_concat, dtype=np.int64)
+    a_xadj = np.ascontiguousarray(a_xadj, dtype=np.int64)
+    b_xadj = np.ascontiguousarray(b_xadj, dtype=np.int64)
     if a_xadj.size != b_xadj.size:
         raise ValueError("A and B sides must have the same pair count")
     k = a_xadj.size - 1
@@ -172,13 +229,8 @@ def batch_intersect_count(
         # charged ops stay the symmetric merge cost.
         a_concat, b_concat = b_concat, a_concat
         a_xadj, b_xadj = b_xadj, a_xadj
-    keyed_a, pair_a = _keyed(a_concat, a_xadj, vertex_bound)
-    keyed_b, _ = _keyed(b_concat, b_xadj, vertex_bound)
-    idx = np.searchsorted(keyed_b, keyed_a)
-    idx_clipped = np.minimum(idx, keyed_b.size - 1)
-    hit = (idx < keyed_b.size) & (keyed_b[idx_clipped] == keyed_a)
-    counts = np.bincount(pair_a[hit], minlength=k)
-    return BatchIntersections(counts.astype(np.int64), ops)
+    counts = _active_backend().count(a_concat, a_xadj, b_concat, b_xadj, vertex_bound)
+    return BatchIntersections(counts, ops)
 
 
 def batch_intersect_elements(
@@ -198,10 +250,10 @@ def batch_intersect_elements(
         *enumeration* and the per-vertex Δ counters of the LCC
         extension, where the identity of the closing vertex matters.
     """
-    a_concat = np.asarray(a_concat, dtype=np.int64)
-    b_concat = np.asarray(b_concat, dtype=np.int64)
-    a_xadj = np.asarray(a_xadj, dtype=np.int64)
-    b_xadj = np.asarray(b_xadj, dtype=np.int64)
+    a_concat = np.ascontiguousarray(a_concat, dtype=np.int64)
+    b_concat = np.ascontiguousarray(b_concat, dtype=np.int64)
+    a_xadj = np.ascontiguousarray(a_xadj, dtype=np.int64)
+    b_xadj = np.ascontiguousarray(b_xadj, dtype=np.int64)
     if a_xadj.size != b_xadj.size:
         raise ValueError("A and B sides must have the same pair count")
     ops = merge_cost(a_concat.size, b_concat.size)
@@ -214,9 +266,7 @@ def batch_intersect_elements(
         # from whichever side is searched.
         a_concat, b_concat = b_concat, a_concat
         a_xadj, b_xadj = b_xadj, a_xadj
-    keyed_a, pair_a = _keyed(a_concat, a_xadj, vertex_bound)
-    keyed_b, _ = _keyed(b_concat, b_xadj, vertex_bound)
-    idx = np.searchsorted(keyed_b, keyed_a)
-    idx_clipped = np.minimum(idx, keyed_b.size - 1)
-    hit = (idx < keyed_b.size) & (keyed_b[idx_clipped] == keyed_a)
-    return pair_a[hit], a_concat[hit], ops
+    pair_idx, elements = _active_backend().elements(
+        a_concat, a_xadj, b_concat, b_xadj, vertex_bound
+    )
+    return pair_idx, elements, ops

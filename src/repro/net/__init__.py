@@ -15,7 +15,10 @@
 * :class:`~repro.net.indirect.GridRouter` — 2D-grid indirect delivery;
 * :mod:`~repro.net.reliable` — reliable/lossy transports under the
   :mod:`repro.faults` fault model (sequence numbers, acks, retransmit,
-  dedup), costs charged to the alpha-beta model.
+  dedup), costs charged to the alpha-beta model;
+* :mod:`~repro.net.shm` — the zero-copy shared-memory frame pool the
+  process backend uses to move payloads between workers without
+  pickling (``REPRO_SHM_FRAMES``, see ``docs/PERFORMANCE.md``).
 """
 
 from .aggregation import BufferedMessageQueue, unpack_records
@@ -50,6 +53,15 @@ from .machine import (
 from .messages import HEADER_WORDS, Message
 from .metrics import PEMetrics, RunMetrics
 from .parallel import ProcessMachine, RemoteDist
+from .shm import (
+    PoolHandle,
+    SharedFramePool,
+    ShmObjectHandle,
+    ShmPayload,
+    attach_object,
+    publish_object,
+    shm_supported,
+)
 from .reliable import (
     LossyTransport,
     ReliableConfig,
@@ -109,6 +121,13 @@ __all__ = [
     "RunMetrics",
     "ProcessMachine",
     "RemoteDist",
+    "PoolHandle",
+    "SharedFramePool",
+    "ShmObjectHandle",
+    "ShmPayload",
+    "attach_object",
+    "publish_object",
+    "shm_supported",
     "SpanRecord",
     "TraceEvent",
     "Tracer",

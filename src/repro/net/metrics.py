@@ -60,6 +60,18 @@ class PEMetrics:
     #: Heartbeat probes this PE paid for (localized recovery's
     #: standing failure-detector cost; zero otherwise).
     heartbeats: int = 0
+    #: Transport-side counters (``repro.net.shm``): *real* bytes this
+    #: PE's outgoing payloads physically occupied under the process
+    #: backend (fan-out deliveries sharing one slot count the copy
+    #: once), messages routed zero-copy through the shared-memory
+    #: frame pool, and messages that spilled to the pickled path
+    #: (pool exhausted / payload oversized / no array body).  These
+    #: describe the physical transport only — they are all zero on the
+    #: simulator and are deliberately excluded from :meth:`RunMetrics.summary`
+    #: so summaries stay comparable across transports.
+    bytes_moved: int = 0
+    shm_frames: int = 0
+    shm_spills: int = 0
     #: Closed ``ctx.span`` intervals in completion order (see
     #: :class:`repro.net.trace.SpanRecord`).
     spans: list[SpanRecord] = field(default_factory=list)
@@ -172,6 +184,22 @@ class RunMetrics:
     def total_heartbeats(self) -> int:
         """Total heartbeat probes charged across the machine."""
         return sum(m.heartbeats for m in self.per_pe)
+
+    # Transport aggregates (repro.net.shm; zero on the simulator) ------
+    @property
+    def total_bytes_moved(self) -> int:
+        """Real payload bytes carried by the process transport."""
+        return sum(m.bytes_moved for m in self.per_pe)
+
+    @property
+    def total_shm_frames(self) -> int:
+        """Messages that travelled zero-copy through the shm pool."""
+        return sum(m.shm_frames for m in self.per_pe)
+
+    @property
+    def total_shm_spills(self) -> int:
+        """Messages that fell back to the pickled path."""
+        return sum(m.shm_spills for m in self.per_pe)
 
     @property
     def critical_rank(self) -> int:

@@ -1,0 +1,56 @@
+"""Test helper: a pure-Python reference kernel backend.
+
+The numba wheel is optional, so CI cannot rely on it for cross-backend
+equivalence testing.  This module registers ``pymerge`` — per-pair
+Python merge loops, the textbook COMPACT-FORWARD intersection — which
+is slow but obviously correct and exercises exactly the contract a
+compiled backend must satisfy (including the (pair, ascending element)
+hit order).  Tests select it via ``use_backend("pymerge")``.
+"""
+
+import numpy as np
+
+from repro.core.backends import KernelBackend, available_backends, register_backend
+
+
+def _merge_pairs(a_concat, a_xadj, b_concat, b_xadj):
+    for i in range(a_xadj.size - 1):
+        ai, ae = int(a_xadj[i]), int(a_xadj[i + 1])
+        bi, be = int(b_xadj[i]), int(b_xadj[i + 1])
+        while ai < ae and bi < be:
+            av, bv = a_concat[ai], b_concat[bi]
+            if av == bv:
+                yield i, av
+                ai += 1
+                bi += 1
+            elif av < bv:
+                ai += 1
+            else:
+                bi += 1
+
+
+def _count(a_concat, a_xadj, b_concat, b_xadj, vertex_bound):
+    counts = np.zeros(a_xadj.size - 1, dtype=np.int64)
+    for i, _ in _merge_pairs(a_concat, a_xadj, b_concat, b_xadj):
+        counts[i] += 1
+    return counts
+
+
+def _elements(a_concat, a_xadj, b_concat, b_xadj, vertex_bound):
+    pairs, elems = [], []
+    for i, v in _merge_pairs(a_concat, a_xadj, b_concat, b_xadj):
+        pairs.append(i)
+        elems.append(v)
+    return (
+        np.asarray(pairs, dtype=np.int64),
+        np.asarray(elems, dtype=np.int64),
+    )
+
+
+def register_pymerge() -> str:
+    """Register the reference backend (idempotent); returns its name."""
+    if "pymerge" not in available_backends():
+        register_backend(
+            "pymerge", lambda: KernelBackend("pymerge", _count, _elements)
+        )
+    return "pymerge"

@@ -1,0 +1,187 @@
+"""Kernel backend registry: selection, fallback, and bit-identity.
+
+The ``batch_intersect_*`` dispatcher owns validation, the side swap and
+the charged ops; a backend only produces counts / hit streams.  These
+tests pin the registry semantics (env/explicit selection, logged
+fallback to numpy, third-party registration) and the contract itself —
+every loadable backend must return byte-identical results on the same
+pre-conditioned inputs.
+"""
+
+import importlib.util
+import logging
+
+import numpy as np
+import pytest
+from backend_utils import register_pymerge
+
+from repro.core import backends
+from repro.core.backends import (
+    available_backends,
+    backend_status,
+    get_backend,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
+from repro.core.intersect import (
+    batch_intersect_count,
+    batch_intersect_elements,
+    concat_xadj,
+)
+
+HAVE_NUMBA = importlib.util.find_spec("numba") is not None
+
+
+@pytest.fixture(autouse=True)
+def _reset_selection():
+    yield
+    set_backend(None)
+
+
+def _random_batch(rng, k, bound, max_len):
+    """k pairs of sorted-unique blocks over [0, bound)."""
+    a_blocks = [
+        np.unique(rng.integers(0, bound, size=rng.integers(0, max_len)))
+        for _ in range(k)
+    ]
+    b_blocks = [
+        np.unique(rng.integers(0, bound, size=rng.integers(0, max_len)))
+        for _ in range(k)
+    ]
+    a = np.concatenate(a_blocks) if k else np.empty(0, dtype=np.int64)
+    b = np.concatenate(b_blocks) if k else np.empty(0, dtype=np.int64)
+    ax = concat_xadj([blk.size for blk in a_blocks])
+    bx = concat_xadj([blk.size for blk in b_blocks])
+    return a.astype(np.int64), ax, b.astype(np.int64), bx
+
+
+# ---------------------------------------------------------------------------
+# Registry semantics
+# ---------------------------------------------------------------------------
+
+
+def test_registry_lists_shipped_backends():
+    names = available_backends()
+    assert "numpy" in names and "numba" in names
+    assert backend_status()["numpy"] == "ok"
+
+
+def test_default_backend_is_numpy():
+    assert get_backend().name == "numpy"
+
+
+def test_unknown_backend_raises():
+    with pytest.raises(KeyError, match="unknown kernel backend"):
+        set_backend("no-such-backend")
+    # and the selection was not clobbered by the failed attempt
+    assert get_backend().name == "numpy"
+
+
+def test_env_selection(monkeypatch):
+    name = register_pymerge()
+    monkeypatch.setenv(backends.ENV_BACKEND, name)
+    assert get_backend().name == name
+
+
+def test_explicit_selection_beats_env(monkeypatch):
+    name = register_pymerge()
+    monkeypatch.setenv(backends.ENV_BACKEND, name)
+    set_backend("numpy")
+    assert get_backend().name == "numpy"
+
+
+def test_use_backend_restores_previous():
+    name = register_pymerge()
+    with use_backend(name):
+        assert get_backend().name == name
+    assert get_backend().name == "numpy"
+
+
+@pytest.mark.skipif(HAVE_NUMBA, reason="numba installed: fallback never triggers")
+def test_missing_numba_falls_back_with_logged_warning(caplog):
+    backends._FAILED.pop("numba", None)  # warn-once: reset for this test
+    with caplog.at_level(logging.WARNING, logger="repro.kernels"):
+        backend = resolve_backend("numba")
+    assert backend.name == "numpy"
+    assert any("falling back to numpy" in r.message for r in caplog.records)
+    # selecting it process-wide degrades the same way instead of raising
+    set_backend("numba")
+    assert get_backend().name == "numpy"
+
+
+def test_third_backend_registration_and_dispatch():
+    name = register_pymerge()
+    a, ax, b, bx = _random_batch(np.random.default_rng(7), 13, 100, 12)
+    base = batch_intersect_count(a, ax, b, bx, 100)
+    with use_backend(name):
+        assert get_backend().name == name
+        got = batch_intersect_count(a, ax, b, bx, 100)
+    np.testing.assert_array_equal(got.counts, base.counts)
+    assert got.ops == base.ops
+
+
+# ---------------------------------------------------------------------------
+# Cross-backend bit-identity on the kernel contract
+# ---------------------------------------------------------------------------
+
+
+def _loadable_backends():
+    names = ["numpy", register_pymerge()]
+    if HAVE_NUMBA:
+        names.append("numba")
+    return names
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_backends_agree_on_random_batches(seed):
+    rng = np.random.default_rng(seed)
+    a, ax, b, bx = _random_batch(rng, 40, 1000, 30)
+    results = {}
+    for name in _loadable_backends():
+        with use_backend(name):
+            cnt = batch_intersect_count(a, ax, b, bx, 1000)
+            pair, elem, ops = batch_intersect_elements(a, ax, b, bx, 1000)
+        results[name] = (cnt.counts, cnt.ops, pair, elem, ops)
+    ref = results["numpy"]
+    for name, got in results.items():
+        np.testing.assert_array_equal(got[0], ref[0], err_msg=name)
+        assert got[1] == ref[1], name
+        np.testing.assert_array_equal(got[2], ref[2], err_msg=name)
+        np.testing.assert_array_equal(got[3], ref[3], err_msg=name)
+        assert got[4] == ref[4], name
+
+
+def test_backends_agree_on_lopsided_sides():
+    """The dispatcher's side swap must be backend-invariant."""
+    rng = np.random.default_rng(3)
+    a, ax, b, bx = _random_batch(rng, 10, 200, 4)
+    big, bigx, _, _ = _random_batch(rng, 10, 200, 60)
+    for left in [(a, ax, big, bigx), (big, bigx, a, ax)]:
+        ref = None
+        for name in _loadable_backends():
+            with use_backend(name):
+                got = batch_intersect_count(*left, 200)
+            if ref is None:
+                ref = got
+            np.testing.assert_array_equal(got.counts, ref.counts)
+            assert got.ops == ref.ops
+
+
+def test_empty_and_degenerate_batches_never_reach_backends():
+    """The dispatcher's fast path answers k=0 / empty sides itself."""
+    e = np.empty(0, dtype=np.int64)
+    z = np.zeros(1, dtype=np.int64)
+    for name in _loadable_backends():
+        with use_backend(name):
+            res = batch_intersect_count(e, z, e, z, 10)
+            assert res.counts.size == 0 and res.ops == 0
+            pair, elem, ops = batch_intersect_elements(e, z, e, z, 10)
+            assert pair.size == 0 and elem.size == 0 and ops == 0
+
+
+@pytest.mark.skipif(
+    not HAVE_NUMBA, reason="numba wheel not installed (numpy-only environment)"
+)
+def test_numba_backend_loads():
+    assert resolve_backend("numba").name == "numba"
