@@ -25,6 +25,7 @@ from .preprocessing import OrientedLocalGraph, build_oriented, exchange_ghost_de
 from .intersect import (
     BatchIntersections,
     batch_intersect_count,
+    batch_intersect_count_elements,
     batch_intersect_elements,
     concat_xadj,
     gather_blocks,
@@ -86,6 +87,7 @@ __all__ = [
     "triangle_edges",
     "BatchIntersections",
     "batch_intersect_count",
+    "batch_intersect_count_elements",
     "batch_intersect_elements",
     "concat_xadj",
     "gather_blocks",

@@ -1,0 +1,281 @@
+"""Auto-tuning backend selector (the ``auto`` kernel backend).
+
+Different pair-size regimes favour different kernels: the vectorized
+numpy ``searchsorted`` amortizes well on huge balanced batches, the
+native merge loops win once blocks fit cache lines, and galloping
+binary search dominates on skewed ``|A| << |B|`` pairs.  Instead of
+hard-coding that matrix per machine, the ``auto`` backend measures it
+once:
+
+* :func:`tune` runs a **seeded one-shot microbenchmark**: for each of
+  three representative regimes (``balanced`` / ``skewed`` / ``tiny``)
+  it times every *loadable concrete* backend on a synthetic batch
+  (fixed seed, so the batch is identical across runs and machines) and
+  records the per-regime winner.
+* The result is persisted to a JSON cache keyed by platform, Python,
+  NumPy and per-backend versions/availability, so later processes —
+  including ``ProcessMachine`` workers — skip the measurement.  The
+  cache lives next to the native build artifacts
+  (``repro.core.native.builder.cache_root``); ``REPRO_TUNER_CACHE``
+  overrides the path.
+* At dispatch time the ``auto`` backend classifies the incoming batch
+  (sizes only — O(1)) and delegates to the cached winner's kernel.
+
+Selection precedence is untouched: ``auto`` runs only when explicitly
+selected (``set_backend("auto")`` / ``REPRO_KERNEL_BACKEND=auto`` /
+``repro-tc --kernel-backend auto``), so explicit backend choices
+always bypass the tuner.  And since every concrete backend satisfies
+the kernel contract, ``auto`` is output-identical to every other
+backend — only wall clock moves (pinned by ``tests/test_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "REGIMES",
+    "ENV_TUNER_CACHE",
+    "classify_regime",
+    "tuner_cache_path",
+    "cache_key",
+    "tune",
+    "cached_winners",
+    "load_or_tune",
+    "invalidate",
+    "make_auto_backend",
+]
+
+log = logging.getLogger("repro.kernels")
+
+ENV_TUNER_CACHE = "REPRO_TUNER_CACHE"
+
+#: The pair-size regimes the tuner distinguishes.
+REGIMES = ("balanced", "skewed", "tiny")
+
+#: Batches with fewer total elements than this are "tiny" (dispatch
+#: overhead dominates any kernel difference).
+TINY_TOTAL = 4096
+#: B/A concatenation ratio from which a batch counts as "skewed".
+SKEW_RATIO = 8
+
+#: Seed for the synthetic microbenchmark batches.
+TUNE_SEED = 20230517  # the paper's IPDPS publication date
+
+#: Winners resolved for this process (regime -> backend name).
+_WINNERS: dict[str, str] | None = None
+
+
+def classify_regime(a_size: int, b_size: int, k: int) -> str:
+    """O(1) regime label for a pre-conditioned batch (``a <= b`` side)."""
+    if a_size + b_size < TINY_TOTAL:
+        return "tiny"
+    if b_size >= SKEW_RATIO * max(a_size, 1):
+        return "skewed"
+    return "balanced"
+
+
+def tuner_cache_path() -> Path:
+    override = os.environ.get(ENV_TUNER_CACHE, "").strip()
+    if override:
+        return Path(override)
+    from .native.builder import cache_root
+
+    return cache_root() / "kernel_tuner.json"
+
+
+def _candidate_backends() -> list[str]:
+    """Loadable *concrete* backends (never ``auto`` itself)."""
+    from . import backends
+
+    names = []
+    for name in backends.available_backends():
+        if name == "auto":
+            continue
+        try:
+            backends._load(name)
+        except (ImportError, KeyError):
+            continue
+        names.append(name)
+    return names
+
+
+def cache_key() -> str:
+    """Fingerprint of everything that could change the winners."""
+    from . import backends
+
+    parts = [
+        platform.machine(),
+        platform.system(),
+        "py" + ".".join(map(str, sys.version_info[:2])),
+        "numpy" + np.__version__,
+    ]
+    for name in sorted(backends.available_backends()):
+        if name == "auto":
+            continue
+        status = "ok"
+        try:
+            backends._load(name)
+        except ImportError:
+            status = "unavailable"
+        except KeyError:  # pragma: no cover - registry always knows these
+            status = "unknown"
+        version = ""
+        if name == "numba" and status == "ok":
+            import numba
+
+            version = numba.__version__
+        elif name == "native" and status == "ok":
+            from .native import build_key
+
+            version = build_key()
+        parts.append(f"{name}={status}:{version}")
+    return "|".join(parts)
+
+
+def _synthetic_batch(rng: np.random.Generator, regime: str):
+    """A representative pre-conditioned batch for ``regime``.
+
+    Blocks are strictly-increasing (cumsum of positive steps), i.e.
+    sorted unique — the dispatcher's precondition.
+    """
+    if regime == "balanced":
+        k, a_len, b_len, bound_step = 8192, 24, 32, 5
+    elif regime == "skewed":
+        k, a_len, b_len, bound_step = 1024, 4, 512, 5
+    else:  # tiny
+        k, a_len, b_len, bound_step = 24, 8, 12, 5
+    a = np.cumsum(rng.integers(1, bound_step, size=(k, a_len)), axis=1).ravel()
+    b = np.cumsum(rng.integers(1, bound_step, size=(k, b_len)), axis=1).ravel()
+    ax = np.arange(k + 1, dtype=np.int64) * a_len
+    bx = np.arange(k + 1, dtype=np.int64) * b_len
+    bound = int(max(a.max(), b.max())) + 1
+    return a.astype(np.int64), ax, b.astype(np.int64), bx, bound
+
+
+def tune(seed: int = TUNE_SEED, repeats: int = 3) -> dict[str, str]:
+    """Run the microbenchmark; returns ``{regime: winner}`` (no I/O)."""
+    from . import backends
+
+    candidates = _candidate_backends()
+    winners: dict[str, str] = {}
+    for regime in REGIMES:
+        rng = np.random.default_rng(seed)
+        a, ax, b, bx, bound = _synthetic_batch(rng, regime)
+        best_name, best_time = "numpy", float("inf")
+        for name in candidates:
+            kernel = backends._load(name)
+            kernel.count(a, ax, b, bx, bound)  # warm-up / JIT / build
+            wall = float("inf")
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                kernel.count(a, ax, b, bx, bound)
+                wall = min(wall, time.perf_counter() - t0)
+            if wall < best_time:
+                best_name, best_time = name, wall
+        winners[regime] = best_name
+    return winners
+
+
+def cached_winners() -> dict[str, str] | None:
+    """The persisted winners for this platform key, if any."""
+    path = tuner_cache_path()
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    entry = data.get(cache_key())
+    if not isinstance(entry, dict):
+        return None
+    winners = entry.get("winners")
+    if not isinstance(winners, dict) or set(winners) != set(REGIMES):
+        return None
+    return {str(k): str(v) for k, v in winners.items()}
+
+
+def _persist(winners: dict[str, str]) -> None:
+    path = tuner_cache_path()
+    data = {}
+    try:
+        data = json.loads(path.read_text())
+        if not isinstance(data, dict):
+            data = {}
+    except (OSError, ValueError):
+        pass
+    data[cache_key()] = {"winners": winners, "tuned_at": time.time()}
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + f".tmp-{os.getpid()}")
+        tmp.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+    except OSError as exc:  # read-only home: tune per process, don't fail
+        log.debug("could not persist tuner cache to %s (%s)", path, exc)
+
+
+def load_or_tune(force: bool = False) -> dict[str, str]:
+    """Winners for this process: cache file, else tune once and persist."""
+    global _WINNERS
+    if _WINNERS is not None and not force:
+        return _WINNERS
+    winners = None if force else cached_winners()
+    if winners is None:
+        log.info("auto backend: tuning kernel backends (one-shot, seeded)")
+        winners = tune()
+        _persist(winners)
+    _WINNERS = winners
+    return winners
+
+
+def invalidate() -> None:
+    """Forget the in-process winners (tests; ``backends tune --force``)."""
+    global _WINNERS
+    _WINNERS = None
+
+
+def make_auto_backend():
+    """Build the ``auto`` :class:`~repro.core.backends.KernelBackend`.
+
+    Each call classifies the (already swapped) batch and delegates to
+    the tuned winner for that regime.  Winners are resolved through
+    :func:`~repro.core.backends.resolve_backend`, so a cached winner
+    that became unavailable degrades to numpy like any other selection.
+    """
+    from .backends import KernelBackend, resolve_backend
+
+    def _delegate(a_xadj, a_concat, b_concat):
+        regime = classify_regime(a_concat.size, b_concat.size, a_xadj.size - 1)
+        winner = load_or_tune()[regime]
+        backend = resolve_backend(winner)
+        if backend.name == "auto":  # pragma: no cover - tuner never picks auto
+            backend = resolve_backend("numpy")
+        return backend
+
+    def count(a_concat, a_xadj, b_concat, b_xadj, vertex_bound):
+        backend = _delegate(a_xadj, a_concat, b_concat)
+        return backend.count(a_concat, a_xadj, b_concat, b_xadj, vertex_bound)
+
+    def elements(a_concat, a_xadj, b_concat, b_xadj, vertex_bound):
+        backend = _delegate(a_xadj, a_concat, b_concat)
+        return backend.elements(a_concat, a_xadj, b_concat, b_xadj, vertex_bound)
+
+    def count_elements(a_concat, a_xadj, b_concat, b_xadj, vertex_bound):
+        backend = _delegate(a_xadj, a_concat, b_concat)
+        if backend.count_elements is not None:
+            return backend.count_elements(
+                a_concat, a_xadj, b_concat, b_xadj, vertex_bound
+            )
+        pair_idx, elems = backend.elements(
+            a_concat, a_xadj, b_concat, b_xadj, vertex_bound
+        )
+        counts = np.bincount(pair_idx, minlength=a_xadj.size - 1).astype(np.int64)
+        return counts, pair_idx, elems
+
+    return KernelBackend("auto", count, elements, count_elements)

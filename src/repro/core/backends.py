@@ -19,7 +19,7 @@ keeping their *accounting* fixed:
   ``(pair_idx, elements)`` hit streams in (pair, ascending element)
   order — the canonical order both shipped backends emit naturally.
 
-Two backends ship:
+Four backends ship:
 
 ``numpy`` (default, always available)
     The offset-keyed global ``searchsorted`` formulation that has been
@@ -29,6 +29,17 @@ Two backends ship:
     paper's cache-friendly merge kernels.  Optional: when the ``numba``
     wheel is not importable the registry logs one warning and falls
     back to ``numpy`` — selection never raises for a *known* backend.
+``native``
+    The cffi/C extension of :mod:`repro.core.native`: merge loops plus
+    a galloping binary-search variant for skewed pairs, compiled on
+    demand at first use and cached.  Degrades exactly like ``numba``
+    when cffi or a C compiler is missing.
+``auto``
+    A per-regime selector (:mod:`repro.core.autotune`): a seeded
+    one-shot microbenchmark at first dispatch (or an explicit
+    ``repro-tc backends tune``) times the concrete backends on
+    representative pair-size regimes and dispatches each batch to the
+    cached winner for its regime.
 
 Selection (first match wins):
 
@@ -38,7 +49,11 @@ Selection (first match wins):
    workers propagate the choice),
 3. the ``numpy`` default.
 
-Registering a third backend is two calls — see ``docs/KERNELS.md`` for
+``auto`` participates like any other name: it runs only when
+explicitly selected through one of these channels, so the existing
+explicit-selection order always bypasses the tuner.
+
+Registering a fifth backend is two calls — see ``docs/KERNELS.md`` for
 a worked example and the exact kernel contract.
 """
 
@@ -52,7 +67,11 @@ from typing import Callable
 
 import numpy as np
 
-from .intersect import _numpy_batch_count, _numpy_batch_elements
+from .intersect import (
+    _numpy_batch_count,
+    _numpy_batch_count_elements,
+    _numpy_batch_elements,
+)
 
 __all__ = [
     "KernelBackend",
@@ -64,12 +83,19 @@ __all__ = [
     "set_backend",
     "use_backend",
     "ENV_BACKEND",
+    "ENV_FALLBACK_WARNED",
 ]
 
 log = logging.getLogger("repro.kernels")
 
 #: Environment variable naming the preferred backend.
 ENV_BACKEND = "REPRO_KERNEL_BACKEND"
+
+#: Comma-separated backend names whose fallback warning was already
+#: emitted by this process tree.  Set when the warning fires, inherited
+#: through the environment by ``ProcessMachine`` workers (fork *and*
+#: spawn), so a driver-side warning is never repeated per worker.
+ENV_FALLBACK_WARNED = "REPRO_KERNEL_FALLBACK_WARNED"
 
 
 @dataclass(frozen=True)
@@ -78,13 +104,18 @@ class KernelBackend:
 
     ``count(a_concat, a_xadj, b_concat, b_xadj, vertex_bound)`` returns
     per-pair intersection counts; ``elements(...)`` returns the
-    ``(pair_idx, elements)`` hit streams.  See the module docstring for
-    the preconditions the dispatcher guarantees.
+    ``(pair_idx, elements)`` hit streams.  ``count_elements(...)`` —
+    optional — returns ``(counts, pair_idx, elements)`` from one fused
+    traversal; when a backend leaves it ``None`` the dispatcher derives
+    the counts from the hit stream instead (same outputs either way).
+    See the module docstring for the preconditions the dispatcher
+    guarantees.
     """
 
     name: str
     count: Callable[..., np.ndarray]
     elements: Callable[..., tuple[np.ndarray, np.ndarray]]
+    count_elements: Callable[..., tuple[np.ndarray, np.ndarray, np.ndarray]] | None = None
 
 
 #: name -> loader returning a KernelBackend (may raise ImportError).
@@ -136,6 +167,26 @@ def _load(name: str) -> KernelBackend:
     return backend
 
 
+def _fallback_warned(name: str) -> bool:
+    """Whether some process in this tree already warned about ``name``."""
+    return name in os.environ.get(ENV_FALLBACK_WARNED, "").split(",")
+
+
+def _mark_fallback_warned(name: str) -> None:
+    """Record the warning in the environment for child processes.
+
+    ``ProcessMachine`` workers inherit the environment under both fork
+    and spawn, so once the driver has warned, workers resolving the
+    same unavailable backend stay silent instead of re-warning once
+    per process (see also the eager driver-side resolve in
+    ``ProcessMachine.run``).
+    """
+    warned = [n for n in os.environ.get(ENV_FALLBACK_WARNED, "").split(",") if n]
+    if name not in warned:
+        warned.append(name)
+        os.environ[ENV_FALLBACK_WARNED] = ",".join(warned)
+
+
 def resolve_backend(name: str | None = None) -> KernelBackend:
     """Resolve ``name`` (or the current selection) to a loaded backend.
 
@@ -152,11 +203,13 @@ def resolve_backend(name: str | None = None) -> KernelBackend:
     except ImportError as exc:
         if name not in _FAILED:
             _FAILED[name] = str(exc)
-            log.warning(
-                "kernel backend %r unavailable (%s); falling back to numpy",
-                name,
-                exc,
-            )
+            if not _fallback_warned(name):
+                log.warning(
+                    "kernel backend %r unavailable (%s); falling back to numpy",
+                    name,
+                    exc,
+                )
+                _mark_fallback_warned(name)
         return _load("numpy")
 
 
@@ -195,7 +248,12 @@ def use_backend(name: str | None):
 
 
 def _load_numpy() -> KernelBackend:
-    return KernelBackend("numpy", _numpy_batch_count, _numpy_batch_elements)
+    return KernelBackend(
+        "numpy",
+        _numpy_batch_count,
+        _numpy_batch_elements,
+        _numpy_batch_count_elements,
+    )
 
 
 register_backend("numpy", _load_numpy)
@@ -257,6 +315,32 @@ def _load_numba() -> KernelBackend:
         _count(a_concat, a_xadj, b_concat, b_xadj, counts)
         return counts
 
+    @njit(cache=True)
+    def _count_elements(  # pragma: no cover
+        a_concat, a_xadj, b_concat, b_xadj, counts, pair_out, elem_out
+    ):
+        out = 0
+        for i in range(counts.size):
+            ai, ae = a_xadj[i], a_xadj[i + 1]
+            bi, be = b_xadj[i], b_xadj[i + 1]
+            c = 0
+            while ai < ae and bi < be:
+                av = a_concat[ai]
+                bv = b_concat[bi]
+                if av == bv:
+                    pair_out[out] = i
+                    elem_out[out] = av
+                    out += 1
+                    c += 1
+                    ai += 1
+                    bi += 1
+                elif av < bv:
+                    ai += 1
+                else:
+                    bi += 1
+            counts[i] = c
+        return out
+
     def elements(a_concat, a_xadj, b_concat, b_xadj, vertex_bound):
         # Hits per pair are bounded by the smaller block, and the
         # dispatcher guarantees A is the smaller side overall, so
@@ -266,7 +350,47 @@ def _load_numba() -> KernelBackend:
         n = _elements(a_concat, a_xadj, b_concat, b_xadj, pair_out, elem_out)
         return pair_out[:n], elem_out[:n]
 
-    return KernelBackend("numba", count, elements)
+    def count_elements(a_concat, a_xadj, b_concat, b_xadj, vertex_bound):
+        counts = np.empty(a_xadj.size - 1, dtype=np.int64)
+        pair_out = np.empty(a_concat.size, dtype=np.int64)
+        elem_out = np.empty(a_concat.size, dtype=np.int64)
+        n = _count_elements(
+            a_concat, a_xadj, b_concat, b_xadj, counts, pair_out, elem_out
+        )
+        return counts, pair_out[:n], elem_out[:n]
+
+    return KernelBackend("numba", count, elements, count_elements)
 
 
 register_backend("numba", _load_numba)
+
+
+# ---------------------------------------------------------------------------
+# native backend (optional: cffi + a C compiler, built on demand)
+# ---------------------------------------------------------------------------
+
+
+def _load_native() -> KernelBackend:
+    # Builds the extension at first use; any failure (no cffi wheel,
+    # no compiler) surfaces as ImportError -> logged numpy fallback.
+    from .native import load_native_kernels
+
+    count, elements, count_elements = load_native_kernels()
+    return KernelBackend("native", count, elements, count_elements)
+
+
+register_backend("native", _load_native)
+
+
+# ---------------------------------------------------------------------------
+# auto backend (per-regime winner dispatch; always loadable)
+# ---------------------------------------------------------------------------
+
+
+def _load_auto() -> KernelBackend:
+    from .autotune import make_auto_backend
+
+    return make_auto_backend()
+
+
+register_backend("auto", _load_auto)

@@ -20,7 +20,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graphs.csr import CSRGraph
-from .intersect import batch_intersect_count, batch_intersect_elements, gather_blocks
+from .intersect import (
+    batch_intersect_count,
+    batch_intersect_count_elements,
+    batch_intersect_elements,
+    gather_blocks,
+)
 from .orientation import orient_by_degree
 
 __all__ = [
@@ -82,15 +87,17 @@ def edge_iterator_per_vertex(graph: CSRGraph) -> tuple[np.ndarray, SequentialRes
     dst = og.adjncy
     a_concat, a_xadj = gather_blocks(og.xadj, og.adjncy, dst)
     b_concat, b_xadj = gather_blocks(og.xadj, og.adjncy, src)
-    pair_idx, closing, ops = batch_intersect_elements(
+    counts, _, closing, ops = batch_intersect_count_elements(
         a_concat, a_xadj, b_concat, b_xadj, og.num_vertices
     )
     n = og.num_vertices
     delta = np.zeros(n, dtype=np.int64)
-    np.add.at(delta, src[pair_idx], 1)
-    np.add.at(delta, dst[pair_idx], 1)
+    # Crediting the arc endpoints per hit is a weighted bincount by the
+    # fused per-pair counts; only the closing vertices need the stream.
+    np.add.at(delta, src, counts)
+    np.add.at(delta, dst, counts)
     np.add.at(delta, closing, 1)
-    return delta, SequentialResult(triangles=pair_idx.size, intersection_ops=ops)
+    return delta, SequentialResult(triangles=closing.size, intersection_ops=ops)
 
 
 def triangle_edges(graph: CSRGraph) -> np.ndarray:

@@ -15,15 +15,19 @@ membership test at once.  Work is *accounted* in the merge model
 the simulated cost model matches the paper's analysis rather than
 Python's constant factors.
 
-``batch_intersect_count`` / ``batch_intersect_elements`` are
-*dispatchers*: they own validation, the ops accounting, the empty fast
-path and the small-into-large side swap, then hand the pre-conditioned
-arrays to the kernel backend selected via :mod:`repro.core.backends`
-(``numpy`` by default; ``REPRO_KERNEL_BACKEND=numba`` /
-``repro-tc --kernel-backend numba`` selects the compiled merge-loop
-backend when available).  Because everything the cost model sees is
-computed *before* the backend runs, simulated accounting is identical
-for every backend by construction — see ``docs/KERNELS.md``.
+``batch_intersect_count`` / ``batch_intersect_elements`` /
+``batch_intersect_count_elements`` are *dispatchers*: they own
+validation, the ops accounting, the empty fast path and the
+small-into-large side swap, then hand the pre-conditioned arrays to
+the kernel backend selected via :mod:`repro.core.backends` (``numpy``
+by default; ``REPRO_KERNEL_BACKEND=native`` / ``numba`` /
+``repro-tc --kernel-backend ...`` selects a compiled merge-loop
+backend when available, ``auto`` the per-regime tuned winner).  The
+fused variant returns per-pair counts *and* the hit streams from one
+backend traversal — the shape the enumeration/LCC paths consume.
+Because everything the cost model sees is computed *before* the
+backend runs, simulated accounting is identical for every backend by
+construction — see ``docs/KERNELS.md``.
 """
 
 from __future__ import annotations
@@ -39,6 +43,7 @@ __all__ = [
     "BatchIntersections",
     "batch_intersect_count",
     "batch_intersect_elements",
+    "batch_intersect_count_elements",
     "concat_xadj",
     "gather_blocks",
 ]
@@ -175,6 +180,25 @@ def _numpy_batch_elements(
     return pair_a[hit], a_concat[hit]
 
 
+def _numpy_batch_count_elements(
+    a_concat: np.ndarray,
+    a_xadj: np.ndarray,
+    b_concat: np.ndarray,
+    b_xadj: np.ndarray,
+    vertex_bound: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Raw numpy fused kernel: one keyed search feeds both outputs."""
+    k = a_xadj.size - 1
+    keyed_a, pair_a = _keyed(a_concat, a_xadj, vertex_bound)
+    keyed_b, _ = _keyed(b_concat, b_xadj, vertex_bound)
+    idx = np.searchsorted(keyed_b, keyed_a)
+    idx_clipped = np.minimum(idx, keyed_b.size - 1)
+    hit = (idx < keyed_b.size) & (keyed_b[idx_clipped] == keyed_a)
+    pair_idx = pair_a[hit]
+    counts = np.bincount(pair_idx, minlength=k).astype(np.int64)
+    return counts, pair_idx, a_concat[hit]
+
+
 def _active_backend():
     # Imported lazily: backends.py pulls the raw numpy kernels from
     # this module at import time, so the dependency must point one way
@@ -270,3 +294,61 @@ def batch_intersect_elements(
         a_concat, a_xadj, b_concat, b_xadj, vertex_bound
     )
     return pair_idx, elements, ops
+
+
+def batch_intersect_count_elements(
+    a_concat: np.ndarray,
+    a_xadj: np.ndarray,
+    b_concat: np.ndarray,
+    b_xadj: np.ndarray,
+    vertex_bound: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Fused counts + hits for many pairs in one backend traversal.
+
+    Returns
+    -------
+    (counts, pair_idx, elements, ops):
+        ``counts[i] = |A_i ∩ B_i|`` per pair **and** the
+        ``(pair_idx, elements)`` hit streams of
+        :func:`batch_intersect_elements`, consistent by construction
+        (``counts == bincount(pair_idx, minlength=k)``).  Used by the
+        enumeration / LCC / per-vertex-Δ paths, which need the closing
+        vertices *and* per-pair multiplicities: one fused call replaces
+        a count pass plus an elements pass (or deriving one output from
+        the other with an extra traversal of the hit stream).
+
+    Notes
+    -----
+    Validation, ops accounting, the empty fast path and the side swap
+    live here, exactly as in the unfused dispatchers, so simulated
+    accounting stays bit-identical across backends by construction.
+    Backends without a fused kernel (``count_elements is None``) run
+    their elements kernel and the dispatcher derives the counts.
+    """
+    a_concat = np.ascontiguousarray(a_concat, dtype=np.int64)
+    b_concat = np.ascontiguousarray(b_concat, dtype=np.int64)
+    a_xadj = np.ascontiguousarray(a_xadj, dtype=np.int64)
+    b_xadj = np.ascontiguousarray(b_xadj, dtype=np.int64)
+    if a_xadj.size != b_xadj.size:
+        raise ValueError("A and B sides must have the same pair count")
+    k = a_xadj.size - 1
+    ops = merge_cost(a_concat.size, b_concat.size)
+    if k == 0 or a_concat.size == 0 or b_concat.size == 0:
+        e = np.empty(0, dtype=np.int64)
+        return np.zeros(k, dtype=np.int64), e, e.copy(), ops
+    if a_concat.size > b_concat.size:
+        # Small-into-large, as in the unfused dispatchers; outputs are
+        # side-invariant because blocks are sorted unique.
+        a_concat, b_concat = b_concat, a_concat
+        a_xadj, b_xadj = b_xadj, a_xadj
+    backend = _active_backend()
+    if backend.count_elements is not None:
+        counts, pair_idx, elements = backend.count_elements(
+            a_concat, a_xadj, b_concat, b_xadj, vertex_bound
+        )
+    else:
+        pair_idx, elements = backend.elements(
+            a_concat, a_xadj, b_concat, b_xadj, vertex_bound
+        )
+        counts = np.bincount(pair_idx, minlength=k).astype(np.int64)
+    return counts, pair_idx, elements, ops

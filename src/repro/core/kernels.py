@@ -27,7 +27,11 @@ import numpy as np
 
 from ..net.frames import Record, RecordFrame
 from ..net.machine import PEContext
-from .intersect import batch_intersect_count, batch_intersect_elements, gather_blocks
+from .intersect import (
+    batch_intersect_count,
+    batch_intersect_count_elements,
+    gather_blocks,
+)
 
 __all__ = [
     "as_frame",
@@ -187,10 +191,13 @@ def record_pairs_elements(
     for sl in chunked(rec_idx.size):
         lcat, lx = gather_blocks(rxadj, radj, rec_idx[sl])
         rcat, rx = gather_blocks(local_xadj, local_adj, targets[sl] - vlo)
-        pair_in_chunk, closing, ops = batch_intersect_elements(lcat, lx, rcat, rx, bound)
+        counts, _, closing, ops = batch_intersect_count_elements(lcat, lx, rcat, rx, bound)
         ctx.charge(ops)
-        v_out.append(vertices[rec_idx[sl][pair_in_chunk]])
-        u_out.append(targets[sl][pair_in_chunk])
+        # The hit stream is in (pair, element) order, so expanding the
+        # per-pair endpoints by the fused counts reproduces the
+        # endpoint-per-hit gather without indexing through pair_idx.
+        v_out.append(np.repeat(vertices[rec_idx[sl]], counts))
+        u_out.append(np.repeat(targets[sl], counts))
         w_out.append(closing)
     return (
         np.concatenate(v_out),

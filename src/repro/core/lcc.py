@@ -28,7 +28,7 @@ from ..net.indirect import GridRouter
 from ..net.machine import PEContext
 from .edge_iterator import edge_iterator_per_vertex
 from .engine import EngineConfig, _post_cut_neighborhoods, _surrogate_filter
-from .intersect import batch_intersect_elements, gather_blocks
+from .intersect import batch_intersect_count_elements, gather_blocks
 from .kernels import chunked, record_pairs_elements
 from .preprocessing import OrientedLocalGraph, build_oriented, exchange_ghost_degrees
 
@@ -106,9 +106,14 @@ def _triangles_elements_local(
         for sl in chunked(ls.size):
             lcat, lxa = gather_blocks(lx, la, ls[sl])
             rcat, rxa = gather_blocks(rx, ra, rs[sl])
-            pair_idx, closing, ops = batch_intersect_elements(lcat, lxa, rcat, rxa, bound)
+            counts, _, closing, ops = batch_intersect_count_elements(
+                lcat, lxa, rcat, rxa, bound
+            )
             ctx.charge(ops)
-            ends = endpoints[sl][pair_idx]
+            # pair_idx is nondecreasing with multiplicity counts[i], so
+            # repeating the endpoint rows by the fused counts equals
+            # endpoints[sl][pair_idx] — one traversal instead of two.
+            ends = np.repeat(endpoints[sl], counts, axis=0)
             a_out.append(ends[:, 0])
             b_out.append(ends[:, 1])
             c_out.append(closing)

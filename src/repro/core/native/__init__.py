@@ -1,0 +1,88 @@
+"""``repro.core.native`` — the cffi/C intersection kernel backend.
+
+Implements the ``count`` / ``elements`` / fused ``count_elements``
+kernel contract of ``docs/KERNELS.md`` in C (``kernels.c``): per-pair
+merge loops plus a galloping binary-search variant for skewed
+``|A_i| << |B_i|`` pairs.  The extension is compiled on demand at
+first use and cached (see :mod:`.builder` for the cache location and
+rebuild knobs); environments without cffi or a C compiler degrade to
+the ``numpy`` backend through the registry's warn-once fallback.
+
+Wrappers here only allocate output arrays and hand zero-copy buffer
+views to the C functions — inputs may be read-only (e.g. shared-memory
+frame views from ``repro.net.shm``), which ``ffi.from_buffer`` accepts
+as const pointers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .builder import build_dir, build_key, cache_root, load_lib
+
+__all__ = [
+    "load_native_kernels",
+    "native_available",
+    "build_dir",
+    "build_key",
+    "cache_root",
+]
+
+
+def native_available() -> bool:
+    """Whether the native backend can be built/loaded here (quietly)."""
+    try:
+        load_lib()
+        return True
+    except ImportError:
+        return False
+
+
+def load_native_kernels():
+    """``(count, elements, count_elements)`` callables over the C lib.
+
+    Raises ``ImportError`` when the extension cannot be built — the
+    registry turns that into the numpy fallback.
+    """
+    module = load_lib()
+    lib, ffi = module.lib, module.ffi
+
+    def _in(arr: np.ndarray):
+        # require_writable=False: received frames are read-only views.
+        return ffi.from_buffer("int64_t[]", arr, require_writable=False)
+
+    def _out(arr: np.ndarray):
+        return ffi.from_buffer("int64_t[]", arr, require_writable=True)
+
+    def count(a_concat, a_xadj, b_concat, b_xadj, vertex_bound):
+        k = a_xadj.size - 1
+        counts = np.empty(k, dtype=np.int64)
+        lib.repro_batch_count(
+            _in(a_concat), _in(a_xadj), _in(b_concat), _in(b_xadj), k, _out(counts)
+        )
+        return counts
+
+    def elements(a_concat, a_xadj, b_concat, b_xadj, vertex_bound):
+        k = a_xadj.size - 1
+        # Hits per pair are bounded by the smaller block, so the A
+        # concatenation (the smaller side overall) bounds the total.
+        pair_out = np.empty(a_concat.size, dtype=np.int64)
+        elem_out = np.empty(a_concat.size, dtype=np.int64)
+        n = lib.repro_batch_elements(
+            _in(a_concat), _in(a_xadj), _in(b_concat), _in(b_xadj),
+            k, _out(pair_out), _out(elem_out),
+        )
+        return pair_out[:n], elem_out[:n]
+
+    def count_elements(a_concat, a_xadj, b_concat, b_xadj, vertex_bound):
+        k = a_xadj.size - 1
+        counts = np.empty(k, dtype=np.int64)
+        pair_out = np.empty(a_concat.size, dtype=np.int64)
+        elem_out = np.empty(a_concat.size, dtype=np.int64)
+        n = lib.repro_batch_count_elements(
+            _in(a_concat), _in(a_xadj), _in(b_concat), _in(b_xadj),
+            k, _out(counts), _out(pair_out), _out(elem_out),
+        )
+        return counts, pair_out[:n], elem_out[:n]
+
+    return count, elements, count_elements

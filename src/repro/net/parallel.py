@@ -392,15 +392,21 @@ def _worker(
     kwargs: dict,
     pool_handle: PoolHandle | None = None,
     pool_lock=None,
+    foreign: bool = False,
 ) -> None:
-    """Worker process main: drive the generator to completion."""
+    """Worker process main: drive the generator to completion.
+
+    ``foreign`` says whether this worker runs its *own* resource
+    tracker (spawn start method) rather than inheriting the driver's
+    (fork) — attached driver-owned segments must then be untracked.
+    """
     pool = (
-        SharedFramePool.attach(pool_handle, pool_lock, untrack=_foreign_tracker())
+        SharedFramePool.attach(pool_handle, pool_lock, untrack=foreign)
         if pool_handle is not None
         else None
     )
     ctx = _WorkerContext(rank, num_pes, spec, channels, pool)
-    args = tuple(_resolve_arg(a) for a in payload)
+    args = tuple(_resolve_arg(a, foreign) for a in payload)
     try:
         gen = program(ctx, *args, **kwargs)
         try:
@@ -440,23 +446,32 @@ class _ShmDistHandle:
         self.handle = handle
 
 
-def _foreign_tracker() -> bool:
-    """Whether worker processes run their own resource tracker.
+def _foreign_tracker(start_method: str) -> bool:
+    """Whether workers started with ``start_method`` run their own
+    resource tracker.
 
-    ``fork`` children inherit the driver's tracker (unregistering there
-    would clobber the driver's registration); ``spawn`` children start
-    a fresh one that must be told to leave driver-owned segments alone.
-    Mirrors the start-method choice in :meth:`ProcessMachine.run`.
+    CPython's POSIX launchers — fork, spawn *and* forkserver — hand the
+    driver's resource-tracker fd to the child, so the tracker is shared
+    under every POSIX start method and unregistering a driver-owned
+    segment from a worker would clobber the driver's registration
+    (verified empirically: untracking under POSIX spawn produces
+    tracker ``KeyError``s at driver unlink time).  Only non-POSIX
+    platforms give workers a tracker of their own.
     """
+    del start_method  # POSIX fd inheritance holds for every method
     return os.name != "posix"
 
 
-def _resolve_arg(a):
+def _default_start_method() -> str:
+    return "fork" if os.name == "posix" else "spawn"
+
+
+def _resolve_arg(a, foreign: bool = False):
     """Materialize a worker-side argument from its courier, if any."""
     if isinstance(a, _DistHandle):
         return RemoteDist(*a.__getstate__())
     if isinstance(a, _ShmDistHandle):
-        state, seg = attach_object(a.handle, untrack=_foreign_tracker(), pin=True)
+        state, seg = attach_object(a.handle, untrack=foreign, pin=True)
         remote = RemoteDist(*state)
         # The view's arrays alias the segment: keep it mapped for the
         # argument's lifetime.
@@ -490,6 +505,14 @@ class ProcessMachine:
     ``shm_slot_bytes`` / ``REPRO_SHM_SLOT_BYTES``
         Bytes per slot (default 4 MiB); payloads above this always
         spill.
+    ``start_method``
+        ``multiprocessing`` start method for the workers: ``"fork"``
+        (default on POSIX) or ``"spawn"`` (default — and only option —
+        elsewhere; also how CI exercises the Windows/macOS code path
+        on Linux).  Spawn workers re-import the package, so anything
+        propagated through the environment (``REPRO_KERNEL_BACKEND``,
+        the warn-once fallback flag) must survive that round trip —
+        pinned by ``tests/test_parallel_backend.py``.
     """
 
     def __init__(
@@ -501,12 +524,19 @@ class ProcessMachine:
         shm: bool | None = None,
         shm_slots: int | None = None,
         shm_slot_bytes: int | None = None,
+        start_method: str | None = None,
     ):
         if num_pes < 1:
             raise ValueError("need at least one PE")
+        if start_method is not None and start_method not in mp.get_all_start_methods():
+            raise ValueError(
+                f"start method {start_method!r} not available here "
+                f"(have: {mp.get_all_start_methods()})"
+            )
         self.num_pes = num_pes
         self.spec = spec
         self.timeout = timeout
+        self.start_method = start_method or _default_start_method()
         if shm is None:
             shm = _env_flag(ENV_SHM, True)
         self.shm = bool(shm) and shm_supported()
@@ -531,7 +561,16 @@ class ProcessMachine:
             If a worker died with an unexpected exception or the run
             timed out.
         """
-        ctx_method = mp.get_context("fork" if os.name == "posix" else "spawn")
+        # Resolve the kernel backend in the driver before any worker
+        # starts: an unavailable selection (e.g. REPRO_KERNEL_BACKEND=
+        # native without a compiler) warns exactly once here, and the
+        # warn-once flag reaches every worker through the environment,
+        # so P workers do not repeat the warning P times.
+        from ..core.backends import get_backend
+
+        get_backend()
+        ctx_method = mp.get_context(self.start_method)
+        foreign = _foreign_tracker(self.start_method)
         channels = _make_channels(ctx_method, self.num_pes)
         result_queue = ctx_method.SimpleQueue()
         pool = pool_handle = pool_lock = None
@@ -565,7 +604,8 @@ class ProcessMachine:
                 proc = ctx_method.Process(
                     target=_worker,
                     args=(rank, self.num_pes, self.spec, channels, result_queue,
-                          program, payload, kwargs, pool_handle, pool_lock),
+                          program, payload, kwargs, pool_handle, pool_lock,
+                          foreign),
                 )
                 proc.start()
                 procs.append(proc)

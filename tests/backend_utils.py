@@ -48,9 +48,30 @@ def _elements(a_concat, a_xadj, b_concat, b_xadj, vertex_bound):
 
 
 def register_pymerge() -> str:
-    """Register the reference backend (idempotent); returns its name."""
+    """Register the reference backend (idempotent); returns its name.
+
+    ``pymerge`` deliberately ships **no** fused ``count_elements``
+    kernel, so it also exercises the dispatcher's derivation path
+    (counts reconstructed from the hit stream via ``bincount``).
+    """
     if "pymerge" not in available_backends():
         register_backend(
             "pymerge", lambda: KernelBackend("pymerge", _count, _elements)
         )
     return "pymerge"
+
+
+def backend_probe_program(ctx, marker):
+    """SPMD program reporting the backend each worker actually resolved.
+
+    Module-level (hence picklable by reference) so it runs under the
+    ``spawn`` start method, where the worker re-imports this module —
+    ``multiprocessing`` propagates ``sys.path``, and the pymerge
+    registration below re-runs inside the fresh interpreter before the
+    first dispatch.
+    """
+    register_pymerge()
+    from repro.core.backends import get_backend
+
+    yield
+    return (marker, get_backend().name)

@@ -1,11 +1,14 @@
 """Cross-backend / cross-transport equivalence suite.
 
-The bit-identity contract of this PR, pinned end to end:
+The bit-identity contract pinned end to end:
 
-* **Kernel backends** (numpy vs. the reference ``pymerge`` merge loops,
+* **Kernel backends** (numpy, the reference ``pymerge`` merge loops,
+  the cffi/C ``native`` kernels and the tuner-driven ``auto`` selector,
   plus numba when installed) must leave *every* simulated observable
   unchanged — counts, clocks, message/word totals, per-PE counters —
-  because the dispatcher computes all accounting before a backend runs.
+  because the dispatcher (including the fused
+  ``batch_intersect_count_elements`` entry the enumeration/LCC paths
+  use) computes all accounting before a backend runs.
 * **Transports** (simulator, ``ProcessMachine`` with the shm pool,
   ``ProcessMachine`` spilling everything to pickle) must agree on
   counts, volumes, messages, ops, per-PE words, and the exact triangle
@@ -14,10 +17,13 @@ The bit-identity contract of this PR, pinned end to end:
   delivery interleavings shift the last few per-message α charges — a
   caveat documented in ``net/parallel.py`` since the backend landed.
 
-Matrix: 2 generators × 3 seeds, as required by ISSUE 9.
+Matrix: 2 generators × 3 seeds, as required by ISSUE 9; backends that
+need an unavailable toolchain (numba wheel, C compiler) drop out of the
+matrix rather than failing it.
 """
 
 import hashlib
+import importlib.util
 
 import numpy as np
 import pytest
@@ -26,6 +32,7 @@ from backend_utils import register_pymerge
 from repro.core.backends import set_backend, use_backend
 from repro.core.engine import EngineConfig, counting_program
 from repro.core.enumerate import enumerate_program, gather_all_triangles
+from repro.core.native import native_available
 from repro.graphs import distribute
 from repro.graphs import generators as gen
 from repro.net import Machine
@@ -38,6 +45,21 @@ GENERATORS = {
     "rmat": lambda seed: gen.rmat(8, 10, seed=seed),
 }
 CASES = [(g, s) for g in GENERATORS for s in SEEDS]
+
+
+def _backend_matrix():
+    """Every backend loadable in this environment, ``numpy`` first.
+
+    ``auto`` is always present (it delegates to loadable backends), so
+    the tuner-driven selection path is pinned even on numpy-only CI.
+    """
+    names = ["numpy", register_pymerge()]
+    if importlib.util.find_spec("numba") is not None:
+        names.append("numba")
+    if native_available():
+        names.append("native")
+    names.append("auto")
+    return names
 
 
 @pytest.fixture(autouse=True)
@@ -80,7 +102,7 @@ def test_backends_bit_identical_on_simulator(gen_name, seed):
     dist = _dist(gen_name, seed)
     cfg = EngineConfig(contraction=True)
     baseline = None
-    for name in ["numpy", register_pymerge()]:
+    for name in _backend_matrix():
         with use_backend(name):
             res = Machine(P).run(counting_program, dist, cfg)
         summary = res.metrics.summary()  # includes simulated time
@@ -91,13 +113,42 @@ def test_backends_bit_identical_on_simulator(gen_name, seed):
 
 
 def test_backends_bit_identical_on_enumeration():
+    """Enumeration drives the fused count+elements dispatcher: the sha
+    covers the hit streams, the makespan the fused-path accounting."""
     dist = _dist("rgg2d", SEEDS[0])
     shas = set()
-    for name in ["numpy", register_pymerge()]:
+    for name in _backend_matrix():
         with use_backend(name):
             res = Machine(P).run(enumerate_program, dist, EngineConfig())
         shas.add((_enum_sha(res), res.metrics.makespan))
     assert len(shas) == 1
+
+
+@pytest.mark.parametrize("gen_name", list(GENERATORS))
+def test_backends_bit_identical_on_lcc(gen_name):
+    """LCC exercises the fused dispatcher on both the local phase and
+    the record-pair path, across Machine and ProcessMachine."""
+    from repro.core.lcc import lcc_program
+
+    dist = _dist(gen_name, SEEDS[0])
+    cfg = EngineConfig(contraction=True)
+    baseline = None
+    for name in _backend_matrix():
+        with use_backend(name):
+            sim = Machine(P).run(lcc_program, dist, cfg)
+            par = ProcessMachine(P).run(lcc_program, dist, cfg)
+        lcc = np.concatenate([v.lcc for v in sim.values])
+        observed = (
+            lcc.tobytes(),
+            sim.metrics.summary(),
+            tuple(pe.words_sent for pe in par.metrics.per_pe),
+        )
+        np.testing.assert_array_equal(
+            np.concatenate([v.lcc for v in par.values]), lcc, err_msg=name
+        )
+        if baseline is None:
+            baseline = observed
+        assert observed == baseline, f"backend {name} diverged on LCC"
 
 
 # ---------------------------------------------------------------------------

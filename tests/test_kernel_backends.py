@@ -10,12 +10,13 @@ pre-conditioned inputs.
 
 import importlib.util
 import logging
+import os
 
 import numpy as np
 import pytest
 from backend_utils import register_pymerge
 
-from repro.core import backends
+from repro.core import autotune, backends
 from repro.core.backends import (
     available_backends,
     backend_status,
@@ -26,11 +27,14 @@ from repro.core.backends import (
 )
 from repro.core.intersect import (
     batch_intersect_count,
+    batch_intersect_count_elements,
     batch_intersect_elements,
     concat_xadj,
 )
+from repro.core.native import native_available
 
 HAVE_NUMBA = importlib.util.find_spec("numba") is not None
+HAVE_NATIVE = native_available()
 
 
 @pytest.fixture(autouse=True)
@@ -63,7 +67,8 @@ def _random_batch(rng, k, bound, max_len):
 
 def test_registry_lists_shipped_backends():
     names = available_backends()
-    assert "numpy" in names and "numba" in names
+    for shipped in ("numpy", "numba", "native", "auto"):
+        assert shipped in names
     assert backend_status()["numpy"] == "ok"
 
 
@@ -99,15 +104,37 @@ def test_use_backend_restores_previous():
 
 
 @pytest.mark.skipif(HAVE_NUMBA, reason="numba installed: fallback never triggers")
-def test_missing_numba_falls_back_with_logged_warning(caplog):
+def test_missing_numba_falls_back_with_logged_warning(caplog, monkeypatch):
     backends._FAILED.pop("numba", None)  # warn-once: reset for this test
+    monkeypatch.delenv(backends.ENV_FALLBACK_WARNED, raising=False)
     with caplog.at_level(logging.WARNING, logger="repro.kernels"):
         backend = resolve_backend("numba")
     assert backend.name == "numpy"
     assert any("falling back to numpy" in r.message for r in caplog.records)
+    # the warning is recorded in the environment for child processes
+    assert "numba" in os.environ[backends.ENV_FALLBACK_WARNED].split(",")
     # selecting it process-wide degrades the same way instead of raising
     set_backend("numba")
     assert get_backend().name == "numpy"
+
+
+def test_fallback_warning_suppressed_when_env_flag_set(caplog, monkeypatch):
+    """A process whose parent already warned stays silent."""
+    backends._FAILED.pop("nope-backend", None)
+    backends.register_backend(
+        "nope-backend", lambda: (_ for _ in ()).throw(ImportError("missing"))
+    )
+    try:
+        monkeypatch.setenv(backends.ENV_FALLBACK_WARNED, "nope-backend")
+        with caplog.at_level(logging.WARNING, logger="repro.kernels"):
+            backend = resolve_backend("nope-backend")
+        assert backend.name == "numpy"
+        assert not any(
+            "falling back to numpy" in r.message for r in caplog.records
+        )
+    finally:
+        backends._LOADERS.pop("nope-backend", None)
+        backends._FAILED.pop("nope-backend", None)
 
 
 def test_third_backend_registration_and_dispatch():
@@ -130,6 +157,8 @@ def _loadable_backends():
     names = ["numpy", register_pymerge()]
     if HAVE_NUMBA:
         names.append("numba")
+    if HAVE_NATIVE:
+        names.append("native")
     return names
 
 
@@ -185,3 +214,136 @@ def test_empty_and_degenerate_batches_never_reach_backends():
 )
 def test_numba_backend_loads():
     assert resolve_backend("numba").name == "numba"
+
+
+# ---------------------------------------------------------------------------
+# Fused count+elements dispatcher
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_fused_dispatcher_consistent_with_unfused(seed):
+    """Fused outputs must equal the two unfused calls, on every backend.
+
+    ``pymerge`` ships no fused kernel, so it pins the dispatcher's
+    derivation path (counts rebuilt from the hit stream); the others
+    pin the genuinely fused kernels against the same reference.
+    """
+    rng = np.random.default_rng(seed)
+    a, ax, b, bx = _random_batch(rng, 40, 1000, 30)
+    ref_cnt = batch_intersect_count(a, ax, b, bx, 1000)
+    ref_pair, ref_elem, ref_ops = batch_intersect_elements(a, ax, b, bx, 1000)
+    for name in _loadable_backends() + ["auto"]:
+        with use_backend(name):
+            counts, pair, elem, ops = batch_intersect_count_elements(
+                a, ax, b, bx, 1000
+            )
+        np.testing.assert_array_equal(counts, ref_cnt.counts, err_msg=name)
+        np.testing.assert_array_equal(pair, ref_pair, err_msg=name)
+        np.testing.assert_array_equal(elem, ref_elem, err_msg=name)
+        assert ops == ref_cnt.ops == ref_ops, name
+        # internal consistency: counts are the pair_idx multiplicities
+        np.testing.assert_array_equal(
+            counts, np.bincount(pair, minlength=counts.size), err_msg=name
+        )
+
+
+def test_fused_dispatcher_empty_fast_path():
+    e = np.empty(0, dtype=np.int64)
+    z = np.zeros(1, dtype=np.int64)
+    counts, pair, elem, ops = batch_intersect_count_elements(e, z, e, z, 10)
+    assert counts.size == 0 and pair.size == 0 and elem.size == 0 and ops == 0
+
+
+def test_fused_dispatcher_side_swap_invariant():
+    rng = np.random.default_rng(5)
+    small, sx, _, _ = _random_batch(rng, 12, 300, 4)
+    big, bx, _, _ = _random_batch(rng, 12, 300, 50)
+    fwd = batch_intersect_count_elements(small, sx, big, bx, 300)
+    rev = batch_intersect_count_elements(big, bx, small, sx, 300)
+    for got, ref in zip(rev, fwd):
+        np.testing.assert_array_equal(got, ref)
+
+
+# ---------------------------------------------------------------------------
+# Auto backend / tuner
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def _tuner_cache(tmp_path, monkeypatch):
+    """Isolate the tuner cache file and in-process winners per test."""
+    path = tmp_path / "kernel_tuner.json"
+    monkeypatch.setenv(autotune.ENV_TUNER_CACHE, str(path))
+    autotune.invalidate()
+    yield path
+    autotune.invalidate()
+
+
+def test_classify_regime():
+    assert autotune.classify_regime(10, 20, 4) == "tiny"
+    assert autotune.classify_regime(100, 100_000, 64) == "skewed"
+    assert autotune.classify_regime(40_000, 50_000, 1000) == "balanced"
+
+
+def test_auto_backend_dispatches_and_persists(_tuner_cache):
+    rng = np.random.default_rng(11)
+    a, ax, b, bx = _random_batch(rng, 30, 500, 20)
+    ref = batch_intersect_count(a, ax, b, bx, 500)
+    assert not _tuner_cache.exists()
+    with use_backend("auto"):
+        got = batch_intersect_count(a, ax, b, bx, 500)
+    np.testing.assert_array_equal(got.counts, ref.counts)
+    assert got.ops == ref.ops
+    # first dispatch ran the one-shot tuner and persisted the winners
+    assert _tuner_cache.exists()
+    winners = autotune.cached_winners()
+    assert set(winners) == set(autotune.REGIMES)
+    # winners are concrete loadable backends, never "auto" itself
+    for winner in winners.values():
+        assert winner != "auto"
+        assert resolve_backend(winner).name == winner
+
+
+def test_tuner_cache_reused_not_retimed(_tuner_cache, monkeypatch):
+    _tuner_cache.write_text("")  # invalid json: ignored, then overwritten
+    autotune.load_or_tune()
+    stamp = _tuner_cache.read_text()
+    autotune.invalidate()  # new process simulation: file survives
+    calls = []
+    monkeypatch.setattr(
+        autotune, "tune", lambda *a, **k: calls.append(1) or {}
+    )
+    autotune.load_or_tune()
+    assert not calls, "cached winners must bypass the microbenchmark"
+    assert _tuner_cache.read_text() == stamp
+
+
+def test_tuner_cache_invalidated_by_key_change(_tuner_cache, monkeypatch):
+    autotune.load_or_tune()
+    assert autotune.cached_winners() is not None
+    # a different platform fingerprint must ignore the stale entry
+    monkeypatch.setattr(autotune, "cache_key", lambda: "other-platform")
+    assert autotune.cached_winners() is None
+
+
+def test_explicit_selection_bypasses_auto(_tuner_cache, monkeypatch):
+    """set_backend / env selection never consults the tuner."""
+    calls = []
+    monkeypatch.setattr(
+        autotune, "load_or_tune", lambda *a, **k: calls.append(1) or {}
+    )
+    rng = np.random.default_rng(3)
+    a, ax, b, bx = _random_batch(rng, 10, 100, 8)
+    with use_backend("numpy"):
+        batch_intersect_count(a, ax, b, bx, 100)
+    monkeypatch.setenv(backends.ENV_BACKEND, "numpy")
+    batch_intersect_count(a, ax, b, bx, 100)
+    assert not calls
+
+
+def test_tune_reports_concrete_winners(_tuner_cache):
+    winners = autotune.tune(repeats=1)
+    assert set(winners) == set(autotune.REGIMES)
+    for winner in winners.values():
+        assert winner in available_backends() and winner != "auto"

@@ -106,3 +106,84 @@ def test_remote_dist_isolation(graph):
 def test_parallel_requires_positive_pes():
     with pytest.raises(ValueError):
         ProcessMachine(0)
+
+
+def test_parallel_rejects_unavailable_start_method():
+    with pytest.raises(ValueError, match="start method"):
+        ProcessMachine(2, start_method="no-such-method")
+
+
+# ---------------------------------------------------------------------------
+# Kernel-backend propagation into workers (fork AND spawn)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+def test_kernel_backend_env_propagates_to_workers(start_method, monkeypatch):
+    """REPRO_KERNEL_BACKEND must reach every worker under both start
+    methods.  spawn is the stricter case: the worker re-imports the
+    package in a fresh interpreter, so only the environment (not the
+    driver's in-process set_backend state) can carry the selection."""
+    import multiprocessing as mp
+
+    from backend_utils import backend_probe_program, register_pymerge
+
+    if start_method not in mp.get_all_start_methods():
+        pytest.skip(f"{start_method} not available on this platform")
+    register_pymerge()  # driver side, for the eager resolve in run()
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", "pymerge")
+    g = gen.ring(12)
+    dist = distribute(g, num_pes=2)
+    res = ProcessMachine(2, start_method=start_method).run(
+        backend_probe_program, dist
+    )
+    assert [name for _, name in res.values] == ["pymerge", "pymerge"]
+
+
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+def test_start_methods_agree_on_counts(start_method, graph, truth):
+    import multiprocessing as mp
+
+    if start_method not in mp.get_all_start_methods():
+        pytest.skip(f"{start_method} not available on this platform")
+    dist = distribute(graph, num_pes=2)
+    res = ProcessMachine(2, start_method=start_method).run(
+        counting_program, dist, EngineConfig()
+    )
+    assert all(v.triangles_total == truth for v in res.values)
+
+
+def test_unavailable_backend_warns_once_across_workers(monkeypatch, capfd):
+    """P workers must not repeat the driver's fallback warning P times.
+
+    The driver resolves the backend eagerly in ``run()`` (warning once)
+    and records it in REPRO_KERNEL_FALLBACK_WARNED, which both fork and
+    spawn workers inherit; worker-side resolution then stays silent.
+    """
+    import logging
+
+    from repro.core import backends
+
+    monkeypatch.delenv(backends.ENV_FALLBACK_WARNED, raising=False)
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", "numba-definitely-missing")
+    # an unloadable registered backend, mimicking numba-without-wheel
+    backends.register_backend(
+        "numba-definitely-missing",
+        lambda: (_ for _ in ()).throw(ImportError("wheel not installed")),
+    )
+    backends._FAILED.pop("numba-definitely-missing", None)
+    # warnings from worker processes land on stderr, not in caplog;
+    # make the driver's logger emit there too so one capture sees both
+    handler = logging.StreamHandler()
+    logging.getLogger("repro.kernels").addHandler(handler)
+    try:
+        g = gen.ring(12)
+        dist = distribute(g, num_pes=3)
+        res = ProcessMachine(3).run(counting_program, dist, EngineConfig())
+        assert all(v.triangles_total == 0 for v in res.values)
+        err = capfd.readouterr().err
+        assert err.count("falling back to numpy") == 1
+    finally:
+        logging.getLogger("repro.kernels").removeHandler(handler)
+        backends._LOADERS.pop("numba-definitely-missing", None)
+        backends._FAILED.pop("numba-definitely-missing", None)
